@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself (not a
+ * paper experiment): per-component operation throughput and
+ * end-to-end simulation rate. Useful for keeping the harness fast
+ * enough to sweep the Figure 6-9 configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/params.hh"
+#include "mem/cache.hh"
+#include "net/network.hh"
+#include "proto/protocol.hh"
+#include "sim/runner.hh"
+#include "workload/micro.hh"
+#include "workload/registry.hh"
+
+namespace
+{
+
+using namespace rnuma;
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache c(32 * 1024, 32, 1);
+    Cache::Victim v;
+    for (Addr a = 0; a < 32 * 1024; a += 32)
+        c.allocate(a, v)->state = CacheState::Shared;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.find(a));
+        a = (a + 32) % (32 * 1024);
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_CacheAllocateEvict(benchmark::State &state)
+{
+    Cache c(32 * 1024, 32, 1);
+    Cache::Victim v;
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!c.find(a))
+            c.allocate(a, v)->state = CacheState::Shared;
+        a += 32 * 1024 + 32; // always conflicts
+    }
+}
+BENCHMARK(BM_CacheAllocateEvict);
+
+class NullSink : public CoherenceSink
+{
+  public:
+    bool invalidateNodeCopy(NodeId, Addr) override { return false; }
+    void downgradeNodeCopy(NodeId, Addr) override {}
+};
+
+class HomeZero : public Placement
+{
+  public:
+    NodeId homeOf(Addr) const override { return 0; }
+};
+
+void
+BM_ProtocolFetch(benchmark::State &state)
+{
+    Params p = Params::base();
+    Network net(p.numNodes, p.netLatency, p.niOccupancy);
+    HomeZero place;
+    NullSink sink;
+    std::vector<std::unique_ptr<Memory>> mems;
+    std::vector<Memory *> ptrs;
+    for (std::size_t i = 0; i < p.numNodes; ++i) {
+        mems.push_back(
+            std::make_unique<Memory>(p.dramAccess, p.blockSize));
+        ptrs.push_back(mems.back().get());
+    }
+    GlobalProtocol proto(p, net, place, sink, ptrs);
+    Tick now = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            proto.fetch(now, 1 + (a / 32) % 7, a, ReqType::GetS));
+        a += 32;
+        now += 400;
+    }
+}
+BENCHMARK(BM_ProtocolFetch);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    Params p = Params::base();
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto wl = makeHotRemoteReuse(p, 16, 2);
+        state.ResumeTiming();
+        RunStats s = runProtocol(p, Protocol::RNuma, *wl);
+        benchmark::DoNotOptimize(s.ticks);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(s.refs));
+    }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_AppSimulationRate(benchmark::State &state)
+{
+    Params p = Params::base();
+    auto wl = makeApp("moldyn", p, 0.1);
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        RunStats s = runProtocol(p, Protocol::RNuma, *wl);
+        refs += s.refs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_AppSimulationRate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "workload/registry.hh"
+
+namespace rnuma::bench
+{
+
+double
+benchScale()
+{
+    const char *env = std::getenv("RNUMA_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    double s = std::atof(env);
+    return s > 0 ? s : 1.0;
+}
+
+const std::vector<std::string> &
+benchApps()
+{
+    return appNames();
+}
+
+void
+printHeader(const char *experiment, const char *paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << experiment << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "workload scale: " << benchScale()
+              << " (set RNUMA_BENCH_SCALE to change)\n"
+              << "==========================================================\n\n";
+}
+
+} // namespace rnuma::bench

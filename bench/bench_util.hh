@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses:
+ * environment-controlled workload scale and common run loops.
+ */
+
+#ifndef RNUMA_BENCH_BENCH_UTIL_HH
+#define RNUMA_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/params.hh"
+#include "common/stats.hh"
+#include "workload/workload.hh"
+
+namespace rnuma::bench
+{
+
+/**
+ * Workload scale for the harnesses: 1.0 unless overridden by the
+ * RNUMA_BENCH_SCALE environment variable (e.g. 0.25 for a quick
+ * pass).
+ */
+double benchScale();
+
+/** The ten Table 3 applications, in paper order. */
+const std::vector<std::string> &benchApps();
+
+/** Print the standard harness header. */
+void printHeader(const char *experiment, const char *paper_ref);
+
+} // namespace rnuma::bench
+
+#endif // RNUMA_BENCH_BENCH_UTIL_HH

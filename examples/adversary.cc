@@ -1,0 +1,66 @@
+/**
+ * @file
+ * adversary: a walk through the paper's worst-case analysis
+ * (Section 3.2). Generates the adversarial reference stream — pages
+ * that accumulate exactly the relocation threshold's worth of
+ * capacity refetches and are then abandoned — and compares measured
+ * overheads against the EQ 1-3 predictions across thresholds.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/params.hh"
+#include "common/table.hh"
+#include "core/analytic_model.hh"
+#include "sim/runner.hh"
+#include "workload/micro.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnuma;
+    std::size_t pages = argc > 1
+        ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+
+    Params base = Params::base();
+    AnalyticModel model(ModelParams::fromSystem(base, 64));
+    std::cout
+        << "adversary: Section 3.2 worst case.\n"
+        << "analytic optimal threshold T* = C_alloc/C_refetch = "
+        << Table::num(model.optimalThreshold())
+        << ", bound at T* = " << Table::num(model.boundAtOptimal())
+        << "\n\n";
+
+    Table t({"T", "CC-NUMA overhead", "S-COMA overhead",
+             "R-NUMA overhead", "RN / best", "EQ1 pred", "EQ2 pred"});
+
+    for (std::size_t T : {4u, 8u, 16u, 32u, 64u}) {
+        Params p = base;
+        p.relocationThreshold = T;
+        auto wl = makeAdversary(p, pages, T + 1);
+        ProtocolComparison c = compareProtocols(p, *wl);
+        double o_cc = c.normCC() - 1.0;
+        double o_sc = c.normSC() - 1.0;
+        double o_rn = c.normRN() - 1.0;
+        double best = std::min(o_cc, o_sc);
+        t.addRow({std::to_string(T), Table::num(o_cc, 3),
+                  Table::num(o_sc, 3), Table::num(o_rn, 3),
+                  best > 0 ? Table::num(o_rn / best) : "-",
+                  Table::num(model.worstVsCCNuma(
+                      static_cast<double>(T))),
+                  Table::num(model.worstVsSComa(
+                      static_cast<double>(T)))});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nreading the table: as T grows, R-NUMA's exposure vs "
+           "CC-NUMA shrinks (EQ 1\nfalls toward 1) while its "
+           "exposure vs S-COMA grows (EQ 2 rises); the\nintersection "
+           "is the paper's optimal threshold. Measured ratios also "
+           "include\nthe soft map faults and contention the model "
+           "abstracts away.\n";
+    return 0;
+}

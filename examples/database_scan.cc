@@ -1,0 +1,120 @@
+/**
+ * @file
+ * database_scan: the motivating scenario from the paper's
+ * introduction. Verghese et al. found that 90% of user data misses
+ * in a commercial relational database are to read-write shared
+ * pages — traffic that page migration and read-only replication
+ * cannot help, but S-COMA-style page caching can (Section 1).
+ *
+ * The workload models an OLTP-ish mix on the base 8x4 machine:
+ *   - a large, read-mostly buffer pool scanned with reuse (too big
+ *     for the block cache, read-write shared via updates),
+ *   - a hot lock/latch page hammered read-write by every node,
+ *   - per-transaction private working storage (node-local).
+ *
+ * Run it to see R-NUMA relocate the buffer-pool pages while leaving
+ * the lock page (pure coherence traffic) in CC-NUMA mode.
+ */
+
+#include <iostream>
+
+#include "common/params.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace rnuma;
+
+std::unique_ptr<VectorWorkload>
+makeDatabaseScan(const Params &p, std::size_t transactions)
+{
+    StreamBuilder b("database-scan", p, 0xdb);
+    const std::size_t pool_pages = 160; // shared buffer pool
+    const std::size_t rows_per_txn = 48;
+    const std::size_t hot_fraction_pages = 24; // hot tables
+
+    Addr pool = b.allocPages(pool_pages);
+    for (std::size_t pg = 0; pg < pool_pages; ++pg) {
+        NodeId n = static_cast<NodeId>(pg % b.nnodes());
+        b.touch(static_cast<CpuId>(n * b.cpusPerNode()),
+                pool + pg * p.pageSize);
+    }
+    Addr locks = b.allocPages(1);
+    b.touch(0, locks);
+    std::vector<Addr> scratch(b.ncpus());
+    for (CpuId c = 0; c < b.ncpus(); ++c) {
+        scratch[c] = b.allocPages(1);
+        b.touchRange(c, scratch[c], p.pageSize);
+    }
+
+    b.barrier();
+    for (std::size_t txn = 0; txn < transactions; ++txn) {
+        for (CpuId c = 0; c < b.ncpus(); ++c) {
+            // Acquire a latch: read-write traffic on the hot page.
+            Addr latch = locks +
+                b.rng().below(p.blocksPerPage()) * p.blockSize;
+            b.read(c, latch, 2);
+            b.write(c, latch, 2);
+            // Scan rows, mostly in the hot part of the pool.
+            for (std::size_t r = 0; r < rows_per_txn; ++r) {
+                std::size_t pg = b.rng().chance(0.8)
+                    ? b.rng().below(hot_fraction_pages)
+                    : b.rng().below(pool_pages);
+                Addr row = pool + pg * p.pageSize +
+                    b.rng().below(p.blocksPerPage()) * p.blockSize;
+                b.read(c, row, 6);
+                // 10% of rows are updated in place (read-write
+                // sharing that replication cannot help).
+                if (b.rng().chance(0.1))
+                    b.write(c, row, 4);
+                // Spill to private working storage.
+                b.write(c, scratch[c] +
+                            (r % p.blocksPerPage()) * p.blockSize, 2);
+            }
+        }
+        if (txn % 8 == 7)
+            b.barrier(); // commit groups
+    }
+    return b.finish();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnuma;
+    std::size_t txns = argc > 1
+        ? static_cast<std::size_t>(std::atoi(argv[1])) : 48;
+
+    Params p = Params::base();
+    std::cout << "database_scan: OLTP-like read-write sharing ("
+              << txns << " transaction rounds)\n\n";
+    auto wl = makeDatabaseScan(p, txns);
+    ProtocolComparison c = compareProtocols(p, *wl);
+
+    Table t({"protocol", "normalized time", "refetches",
+             "relocations", "replacements"});
+    auto row = [&](const char *n, const RunStats &s) {
+        t.addRow({n,
+                  Table::num(static_cast<double>(s.ticks) /
+                             static_cast<double>(c.baseline.ticks)),
+                  std::to_string(s.refetches),
+                  std::to_string(s.relocations),
+                  std::to_string(s.scomaReplacements)});
+    };
+    row("CC-NUMA", c.ccNuma);
+    row("S-COMA", c.sComa);
+    row("R-NUMA", c.rNuma);
+    t.print(std::cout);
+
+    std::cout << "\nR-NUMA relocated " << c.rNuma.relocations
+              << " hot buffer-pool pages; the latch page's "
+                 "coherence traffic\nnever counts as refetches, so "
+                 "it stays CC-NUMA — the per-page split the\npaper "
+                 "argues for in Section 1.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * protocol_explorer: an interactive-style tour of the coherence
+ * protocol using the public API directly — no workload generator.
+ * Issues a scripted sequence of references on the base machine and
+ * narrates how the directory classifies each miss, when the R-NUMA
+ * counters fire, and what a relocation costs. A good first read for
+ * understanding the library's moving parts.
+ */
+
+#include <iostream>
+
+#include "common/params.hh"
+#include "os/page_table.hh"
+#include "sim/machine.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace rnuma;
+    Params p = Params::base();
+    p.relocationThreshold = 8; // small, so the demo is short
+
+    std::cout
+        << "protocol_explorer: one remote page under R-NUMA "
+           "(threshold 8)\n\n";
+
+    // CPU 4 (node 1) owns a page; CPU 0 (node 0) ping-pongs two
+    // conflicting blocks until the page relocates.
+    auto wl = std::make_unique<VectorWorkload>("explorer",
+                                               p.numCpus());
+    Addr page_addr = 0;
+    wl->push(4, Ref::touchOf(page_addr));
+    // A second chunk 32 KB away that conflicts in every cache.
+    Addr far = 32 * 1024;
+    wl->push(4, Ref::touchOf(far));
+    wl->pushBarrierAll();
+    for (int i = 0; i < 12; ++i) {
+        wl->push(0, Ref::mem(page_addr, false, 2));
+        wl->push(0, Ref::mem(far, false, 2));
+    }
+    wl->seal();
+
+    Machine m(p, Protocol::RNuma, *wl);
+    RunStats s = m.run();
+
+    std::cout << "after 12 alternations over two conflicting remote "
+                 "blocks:\n"
+              << "  remote fetches  : " << s.remoteFetches << "\n"
+              << "  cold misses     : " << s.coldMisses << "\n"
+              << "  refetches       : " << s.refetches
+              << "   (directory saw requests for blocks node 0 "
+                 "already had)\n"
+              << "  relocations     : " << s.relocations
+              << "   (counters crossed the threshold of "
+              << p.relocationThreshold << ")\n"
+              << "  page-cache hits : " << s.pageCacheHits
+              << "   (post-relocation, served from local memory)\n"
+              << "  OS cycles       : " << s.osCycles << "\n\n";
+
+    PageTable &pt = m.node(0).pageTable();
+    std::cout << "node 0 page table now maps the hot pages as:\n"
+              << "  page 0    : "
+              << (pt.modeOf(0) == PageMode::SComa ? "S-COMA"
+                                                  : "CC-NUMA")
+              << "\n  page 8 (far block's page): "
+              << (pt.modeOf(far / p.pageSize) == PageMode::SComa
+                      ? "S-COMA" : "CC-NUMA")
+              << "\n\nthe directory detected every capacity re-request"
+                 " (Section 3.1), the\nreactive counters fired, and "
+                 "the OS moved both pages into the page\ncache — the "
+                 "R-NUMA mechanism end to end.\n";
+    return 0;
+}

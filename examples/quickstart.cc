@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: build the paper's base machine, run one workload under
+ * CC-NUMA, S-COMA, and R-NUMA, and print normalized execution times
+ * (normalized to a CC-NUMA with an infinite block cache, as in
+ * Figure 6).
+ *
+ * Usage: quickstart [app-name] [scale]
+ *   app-name  one of the ten Table 3 applications (default: moldyn)
+ *   scale     input scale factor (default 0.5 for a quick run)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/params.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnuma;
+
+    std::string app = argc > 1 ? argv[1] : "moldyn";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    Params p = Params::base();
+    std::cout << "R-NUMA quickstart: app=" << app << " scale=" << scale
+              << "\n"
+              << "machine: " << p.numNodes << " nodes x "
+              << p.cpusPerNode << " cpus, block cache "
+              << p.blockCacheSize / 1024 << "KB, page cache "
+              << p.pageCacheSize / 1024 << "KB, threshold "
+              << p.relocationThreshold << "\n\n";
+
+    auto wl = makeApp(app, p, scale);
+    std::cout << "workload: " << wl->totalRefs()
+              << " stream entries\n\n";
+
+    ProtocolComparison c = compareProtocols(p, *wl);
+
+    Table t({"protocol", "ticks", "normalized", "remote fetches",
+             "refetches", "page ops"});
+    auto row = [&](const char *name, const RunStats &s) {
+        t.addRow({name, std::to_string(s.ticks),
+                  Table::num(static_cast<double>(s.ticks) /
+                             static_cast<double>(c.baseline.ticks)),
+                  std::to_string(s.remoteFetches),
+                  std::to_string(s.refetches),
+                  std::to_string(s.scomaAllocations +
+                                 s.relocations)});
+    };
+    row("CC-NUMA(inf)", c.baseline);
+    row("CC-NUMA", c.ccNuma);
+    row("S-COMA", c.sComa);
+    row("R-NUMA", c.rNuma);
+    t.print(std::cout);
+
+    std::cout << "\nbest of CC/SC: " << Table::num(c.bestOfBase())
+              << "  R-NUMA: " << Table::num(c.normRN()) << "\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace rnuma
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * Throwing (instead of aborting) lets the test suite assert that
+ * invariant violations are detected; production binaries see the same
+ * message and terminate either way.
+ */
+bool throwOnPanic = std::getenv("RNUMA_THROW_ON_PANIC") != nullptr;
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("panic: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    if (throwOnPanic)
+        throw std::logic_error(full);
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("fatal: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    if (throwOnPanic)
+        throw std::runtime_error(full);
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace rnuma

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition: panic() for internal
+ * simulator bugs, fatal() for user/configuration errors, warn() and
+ * inform() for status messages that do not stop the simulation.
+ */
+
+#ifndef RNUMA_COMMON_LOGGING_HH
+#define RNUMA_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace rnuma
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via a stream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a simulator bug). */
+#define RNUMA_PANIC(...) \
+    ::rnuma::detail::panicImpl(__FILE__, __LINE__, \
+                               ::rnuma::detail::concat(__VA_ARGS__))
+
+/** Exit cleanly on a user error (bad configuration or arguments). */
+#define RNUMA_FATAL(...) \
+    ::rnuma::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::rnuma::detail::concat(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define RNUMA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RNUMA_PANIC("assertion '", #cond, "' failed: ", \
+                        ::rnuma::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal alert about questionable behavior. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Normal operating status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace rnuma
+
+#endif // RNUMA_COMMON_LOGGING_HH

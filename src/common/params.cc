@@ -1,0 +1,59 @@
+#include "common/params.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::CCNuma: return "CC-NUMA";
+      case Protocol::SComa:  return "S-COMA";
+      case Protocol::RNuma:  return "R-NUMA";
+    }
+    return "?";
+}
+
+Params
+Params::base()
+{
+    Params p;
+    p.validate();
+    return p;
+}
+
+Params
+Params::soft()
+{
+    Params p;
+    // 10 us page-fault handling at 400 MHz.
+    p.softTrap = 4000;
+    // 5 us software TLB invalidation via inter-processor interrupts.
+    p.tlbShootdown = 2000;
+    p.validate();
+    return p;
+}
+
+void
+Params::validate() const
+{
+    RNUMA_ASSERT(numNodes >= 1 && numNodes <= maxNodes,
+                 "numNodes out of range: ", numNodes);
+    RNUMA_ASSERT(cpusPerNode >= 1, "need at least one CPU per node");
+    RNUMA_ASSERT(blockSize > 0 && (blockSize & (blockSize - 1)) == 0,
+                 "blockSize must be a power of two: ", blockSize);
+    RNUMA_ASSERT(pageSize % blockSize == 0,
+                 "pageSize must be a multiple of blockSize");
+    RNUMA_ASSERT(l1Size % blockSize == 0, "l1Size not block aligned");
+    RNUMA_ASSERT(blockCacheSize % blockSize == 0,
+                 "blockCacheSize not block aligned");
+    RNUMA_ASSERT(pageCacheSize % pageSize == 0,
+                 "pageCacheSize not page aligned");
+    RNUMA_ASSERT(pageCacheFrames() >= 1, "page cache needs >= 1 frame");
+    RNUMA_ASSERT(relocationThreshold >= 1,
+                 "relocation threshold must be positive");
+}
+
+} // namespace rnuma

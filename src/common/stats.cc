@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rnuma
+{
+
+void
+RunStats::recordFetch(Addr page, MissKind kind, bool write, bool remote)
+{
+    remoteFetches++;
+    switch (kind) {
+      case MissKind::Cold:      coldMisses++; break;
+      case MissKind::Coherence: coherenceMisses++; break;
+      case MissKind::Refetch:   refetches++; break;
+    }
+    if (!remote)
+        return;
+    PageStats &ps = pages[page];
+    ps.remoteFetches++;
+    if (kind == MissKind::Refetch)
+        ps.refetches++;
+    if (write)
+        ps.remoteWrite = true;
+    else
+        ps.remoteRead = true;
+}
+
+void
+RunStats::markSharedWrite(Addr page)
+{
+    auto it = pages.find(page);
+    if (it != pages.end())
+        it->second.remoteWrite = true;
+}
+
+std::size_t
+RunStats::remotePageCount() const
+{
+    return pages.size();
+}
+
+std::vector<std::uint64_t>
+RunStats::refetchDistribution() const
+{
+    std::vector<std::uint64_t> v;
+    v.reserve(pages.size());
+    for (const auto &kv : pages)
+        v.push_back(kv.second.refetches);
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+}
+
+double
+RunStats::rwPageRefetchFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t rw = 0;
+    for (const auto &kv : pages) {
+        total += kv.second.refetches;
+        if (kv.second.readWriteShared())
+            rw += kv.second.refetches;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(rw) /
+        static_cast<double>(total);
+}
+
+void
+RunStats::print(std::ostream &os) const
+{
+    os << "ticks=" << ticks
+       << " refs=" << refs
+       << " l1Hits=" << l1Hits
+       << " l1Misses=" << l1Misses
+       << "\nremoteFetches=" << remoteFetches
+       << " (cold=" << coldMisses
+       << " coherence=" << coherenceMisses
+       << " refetch=" << refetches << ")"
+       << "\nblockCacheHits=" << blockCacheHits
+       << " pageCacheHits=" << pageCacheHits
+       << " localFills=" << localFills
+       << "\npageFaults=" << pageFaults
+       << " allocations=" << scomaAllocations
+       << " replacements=" << scomaReplacements
+       << " relocations=" << relocations
+       << "\nbusWait=" << busWait
+       << " niWait=" << niWait
+       << " osCycles=" << osCycles
+       << "\n";
+}
+
+} // namespace rnuma

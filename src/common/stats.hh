@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Statistics collected during a simulation run. One RunStats instance
+ * aggregates machine-wide counters plus the per-page bookkeeping
+ * needed to reproduce Figure 5 and Table 4 of the paper.
+ */
+
+#ifndef RNUMA_COMMON_STATS_HH
+#define RNUMA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/**
+ * Per-remote-page bookkeeping (aggregated over all nodes).
+ *
+ * A page is classified as read-write shared (Table 4, column 2) when
+ * non-home nodes have both read and written it.
+ */
+struct PageStats
+{
+    /** Block refetches (capacity/conflict remote misses) on the page. */
+    std::uint64_t refetches = 0;
+    /** All remote fetches (cold + coherence + refetch) on the page. */
+    std::uint64_t remoteFetches = 0;
+    /** Some non-home node read the page. */
+    bool remoteRead = false;
+    /** Some non-home node wrote the page. */
+    bool remoteWrite = false;
+
+    bool readWriteShared() const { return remoteRead && remoteWrite; }
+};
+
+/** Classification of a remote block fetch (see DESIGN.md section 7). */
+enum class MissKind : std::uint8_t
+{
+    Cold,      ///< first fetch of this block by this node
+    Coherence, ///< the node lost its copy to an invalidation
+    Refetch    ///< capacity/conflict: the directory thought it had it
+};
+
+/** All counters for one simulation run. */
+struct RunStats
+{
+    /** Simulated execution time (max CPU completion tick). */
+    Tick ticks = 0;
+
+    //--- Reference-stream counters --------------------------------------
+    std::uint64_t refs = 0;        ///< memory references issued
+    std::uint64_t l1Hits = 0;      ///< satisfied by the local L1
+    std::uint64_t l1Misses = 0;    ///< required a bus transaction
+    std::uint64_t upgrades = 0;    ///< write permission upgrades
+    std::uint64_t barriers = 0;    ///< barrier episodes completed
+
+    //--- Node-level service points ---------------------------------------
+    std::uint64_t localFills = 0;      ///< fills from home-node memory
+    std::uint64_t nodeTransfers = 0;   ///< on-node cache-to-cache fills
+    std::uint64_t blockCacheHits = 0;  ///< fills from the block cache
+    std::uint64_t pageCacheHits = 0;   ///< fine-grain tag hits (S-COMA)
+
+    //--- Remote traffic ----------------------------------------------------
+    std::uint64_t remoteFetches = 0;    ///< block fetches sent home
+    std::uint64_t refetches = 0;        ///< ... classified Refetch
+    std::uint64_t coherenceMisses = 0;  ///< ... classified Coherence
+    std::uint64_t coldMisses = 0;       ///< ... classified Cold
+    std::uint64_t invalidationsSent = 0;///< directory invalidations
+    std::uint64_t forwards = 0;         ///< three-hop dirty forwards
+    std::uint64_t writebacks = 0;       ///< voluntary block writebacks
+    std::uint64_t flushedBlocks = 0;    ///< blocks flushed by page ops
+
+    //--- OS / page events ----------------------------------------------------
+    std::uint64_t pageFaults = 0;        ///< first-touch mapping faults
+    std::uint64_t scomaAllocations = 0;  ///< page-cache frame allocations
+    std::uint64_t scomaReplacements = 0; ///< page-cache victimizations
+    std::uint64_t relocations = 0;       ///< R-NUMA CC->S-COMA moves
+
+    //--- Time decomposition ---------------------------------------------------
+    Tick busWait = 0;   ///< cycles queued for the node buses
+    Tick niWait = 0;    ///< cycles queued at network interfaces
+    Tick osCycles = 0;  ///< cycles spent in page faults/relocations
+    Tick stallCycles = 0; ///< total CPU memory-stall cycles
+
+    /** Per-page statistics keyed by page number (addr / pageSize). */
+    std::unordered_map<Addr, PageStats> pages;
+
+    /** Record a remote fetch classification against a page. */
+    void recordFetch(Addr page, MissKind kind, bool write, bool remote);
+
+    /**
+     * Record write-sharing traffic on a page that is tracked as
+     * remote by other nodes: a write (by the home or by a holder
+     * upgrading in place) that invalidated remote copies. Table 4
+     * classifies a page read-write when it incurs both read and
+     * write coherence traffic.
+     */
+    void markSharedWrite(Addr page);
+
+    /** Total remote pages that were ever fetched. */
+    std::size_t remotePageCount() const;
+
+    /**
+     * Refetch counts per page, sorted descending: the raw series for
+     * the Figure 5 cumulative-distribution plot.
+     */
+    std::vector<std::uint64_t> refetchDistribution() const;
+
+    /** Fraction of refetches on read-write shared pages (Table 4). */
+    double rwPageRefetchFraction() const;
+
+    /** Human-readable dump of the headline counters. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_COMMON_STATS_HH

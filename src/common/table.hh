@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A minimal fixed-width text-table formatter used by the benchmark
+ * harnesses to print paper-style tables.
+ */
+
+#ifndef RNUMA_COMMON_TABLE_HH
+#define RNUMA_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rnuma
+{
+
+/** Accumulates rows of cells and prints them column-aligned. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage (helper for cells). */
+    static std::string pct(double fraction, int precision = 0);
+
+    /** Print the table, column-aligned, with a separator rule. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_COMMON_TABLE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers shared by every module of
+ * the R-NUMA simulator.
+ */
+
+#ifndef RNUMA_COMMON_TYPES_HH
+#define RNUMA_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rnuma
+{
+
+/** Simulated time, in 400 MHz processor cycles. */
+using Tick = std::uint64_t;
+
+/** A global physical address (high-order bits encode the home node). */
+using Addr = std::uint64_t;
+
+/** Identifies one SMP node in the machine. */
+using NodeId = std::uint32_t;
+
+/** Identifies one processor, globally (node * cpusPerNode + local). */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no node" (e.g., a directory entry with no owner). */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel address used for "no block / no page". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Upper bound on nodes; sizes the directory sharer bitsets. */
+constexpr std::size_t maxNodes = 64;
+
+/**
+ * The three remote-data caching protocols the paper compares.
+ *
+ * CCNuma caches remote data in the processor caches plus a small SRAM
+ * block cache; SComa caches remote data at page granularity in main
+ * memory; RNuma starts pages as CC-NUMA and reactively relocates
+ * high-refetch pages into the S-COMA page cache (Section 3).
+ */
+enum class Protocol : std::uint8_t { CCNuma, SComa, RNuma };
+
+/** Human-readable protocol name (for tables and logs). */
+const char *protocolName(Protocol p);
+
+} // namespace rnuma
+
+#endif // RNUMA_COMMON_TYPES_HH

@@ -1,0 +1,67 @@
+#include "core/analytic_model.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+ModelParams
+ModelParams::fromSystem(const Params &p, std::size_t blocks_moved)
+{
+    ModelParams mp;
+    mp.cRefetch = static_cast<double>(p.remoteFetch());
+    mp.cAllocate = static_cast<double>(p.pageOpCost(blocks_moved));
+    mp.cRelocate = static_cast<double>(p.pageOpCost(blocks_moved));
+    return mp;
+}
+
+AnalyticModel::AnalyticModel(ModelParams mp_)
+    : mp(mp_)
+{
+    RNUMA_ASSERT(mp.cRefetch > 0 && mp.cAllocate > 0 && mp.cRelocate >= 0,
+                 "model costs must be positive");
+}
+
+double
+AnalyticModel::overheadCCNuma(double T) const
+{
+    return T * mp.cRefetch;
+}
+
+double
+AnalyticModel::overheadSComa() const
+{
+    return mp.cAllocate;
+}
+
+double
+AnalyticModel::overheadRNuma(double T) const
+{
+    return T * mp.cRefetch + mp.cRelocate + mp.cAllocate;
+}
+
+double
+AnalyticModel::worstVsCCNuma(double T) const
+{
+    return overheadRNuma(T) / overheadCCNuma(T);
+}
+
+double
+AnalyticModel::worstVsSComa(double T) const
+{
+    return overheadRNuma(T) / overheadSComa();
+}
+
+double
+AnalyticModel::optimalThreshold() const
+{
+    return mp.cAllocate / mp.cRefetch;
+}
+
+double
+AnalyticModel::boundAtOptimal() const
+{
+    return 2.0 + mp.cRelocate / mp.cAllocate;
+}
+
+} // namespace rnuma

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's worst-case (competitive) performance model, Section 3.2
+ * and Table 1. The model compares per-page overheads against an ideal
+ * CC-NUMA with an infinite block cache and proves R-NUMA's worst case
+ * is within 2 + C_relocate/C_allocate of the best of CC-NUMA and
+ * S-COMA (EQ 1-3).
+ */
+
+#ifndef RNUMA_CORE_ANALYTIC_MODEL_HH
+#define RNUMA_CORE_ANALYTIC_MODEL_HH
+
+#include "common/params.hh"
+
+namespace rnuma
+{
+
+/** Table 1 parameters. */
+struct ModelParams
+{
+    double cRefetch = 0;  ///< cost of refetching a remote block
+    double cAllocate = 0; ///< cost of allocating/replacing a page
+    double cRelocate = 0; ///< cost of relocating a page
+
+    /**
+     * Derive model costs from system parameters: C_refetch is the
+     * uncontended remote fetch; C_allocate and C_relocate use the
+     * page-operation cost at a given occupancy (valid blocks moved
+     * or flushed).
+     */
+    static ModelParams fromSystem(const Params &p,
+                                  std::size_t blocks_moved);
+};
+
+/** EQ 1-3 evaluated for a threshold T. */
+class AnalyticModel
+{
+  public:
+    explicit AnalyticModel(ModelParams mp);
+
+    /** Per-page overhead of CC-NUMA in the worst case: T*C_refetch. */
+    double overheadCCNuma(double T) const;
+
+    /** Per-page overhead of S-COMA: C_allocate. */
+    double overheadSComa() const;
+
+    /**
+     * Per-page overhead of R-NUMA in its worst case (page relocates
+     * and is never referenced again before replacement):
+     * T*C_refetch + C_relocate + C_allocate.
+     */
+    double overheadRNuma(double T) const;
+
+    /** EQ 1: worst-case R-NUMA / CC-NUMA overhead ratio. */
+    double worstVsCCNuma(double T) const;
+
+    /** EQ 2: worst-case R-NUMA / S-COMA overhead ratio. */
+    double worstVsSComa(double T) const;
+
+    /**
+     * EQ 3: the threshold equalizing the two ratios:
+     * T* = C_allocate / C_refetch.
+     */
+    double optimalThreshold() const;
+
+    /**
+     * EQ 3: the bound at the optimal threshold:
+     * 2 + C_relocate / C_allocate — close to 2 for aggressive
+     * implementations and close to 3 when relocation costs as much
+     * as allocation.
+     */
+    double boundAtOptimal() const;
+
+    const ModelParams &params() const { return mp; }
+
+  private:
+    ModelParams mp;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_CORE_ANALYTIC_MODEL_HH

@@ -1,0 +1,38 @@
+#include "core/reactive_policy.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+ReactivePolicy::ReactivePolicy(std::size_t threshold)
+    : thresh(threshold)
+{
+    RNUMA_ASSERT(thresh >= 1, "threshold must be at least 1");
+}
+
+bool
+ReactivePolicy::recordRefetch(Addr page)
+{
+    std::uint64_t &c = counts[page];
+    if (++c >= thresh) {
+        counts.erase(page);
+        return true;
+    }
+    return false;
+}
+
+void
+ReactivePolicy::reset(Addr page)
+{
+    counts.erase(page);
+}
+
+std::uint64_t
+ReactivePolicy::count(Addr page) const
+{
+    auto it = counts.find(page);
+    return it == counts.end() ? 0 : it->second;
+}
+
+} // namespace rnuma

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The reactive relocation policy — the paper's central mechanism
+ * (Section 3.1). Each node's RAD maintains a per-page count of block
+ * refetches (capacity/conflict misses on blocks the directory
+ * believes the node already has) and raises a relocation interrupt
+ * when the count crosses the threshold T.
+ */
+
+#ifndef RNUMA_CORE_REACTIVE_POLICY_HH
+#define RNUMA_CORE_REACTIVE_POLICY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Per-node, per-page refetch counters with a relocation threshold. */
+class ReactivePolicy
+{
+  public:
+    /** @param threshold refetches before relocation (base: 64). */
+    explicit ReactivePolicy(std::size_t threshold);
+
+    /**
+     * Record one refetch against @p page.
+     * @return true exactly when the count reaches the threshold (the
+     *         relocation interrupt fires); the counter resets.
+     */
+    bool recordRefetch(Addr page);
+
+    /** Clear a page's counter (relocation or unmap). */
+    void reset(Addr page);
+
+    /** Current count for a page. */
+    std::uint64_t count(Addr page) const;
+
+    /** Configured threshold T. */
+    std::size_t threshold() const { return thresh; }
+
+    /** Number of pages with a live counter. */
+    std::size_t trackedPages() const { return counts.size(); }
+
+  private:
+    std::size_t thresh;
+    std::unordered_map<Addr, std::uint64_t> counts;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_CORE_REACTIVE_POLICY_HH

@@ -1,0 +1,4 @@
+#include "mem/bus.hh"
+
+// Bus and Resource are header-only; this translation unit exists so
+// the build has a home for future out-of-line bus logic.

@@ -1,0 +1,38 @@
+#include "mem/memory.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+Memory::Memory(Tick dram_latency, std::size_t block_bytes,
+               std::size_t banks)
+    : latency(dram_latency), blockBytes(block_bytes)
+{
+    RNUMA_ASSERT(banks >= 1, "memory needs at least one bank");
+    // A bank is busy for the access latency itself; back-to-back
+    // accesses to different banks overlap fully.
+    banks_.reserve(banks);
+    for (std::size_t i = 0; i < banks; ++i)
+        banks_.emplace_back(latency);
+}
+
+Tick
+Memory::access(Tick now, Addr addr)
+{
+    std::size_t bank =
+        static_cast<std::size_t>((addr / blockBytes) % banks_.size());
+    Tick grant = banks_[bank].acquire(now);
+    return grant + latency;
+}
+
+Tick
+Memory::waited() const
+{
+    Tick total = 0;
+    for (const auto &b : banks_)
+        total += b.waited();
+    return total;
+}
+
+} // namespace rnuma

@@ -1,0 +1,72 @@
+#include "net/network.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+Network::Network(std::size_t nodes, Tick latency, Tick ni_occupancy)
+    : netLatency(latency)
+{
+    RNUMA_ASSERT(nodes >= 1, "network needs at least one node");
+    nis.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i)
+        nis.emplace_back(ni_occupancy);
+}
+
+Resource &
+Network::ni(NodeId n)
+{
+    RNUMA_ASSERT(n < nis.size(), "bad node id ", n);
+    return nis[n];
+}
+
+Tick
+Network::send(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    counts[static_cast<std::size_t>(kind)]++;
+    if (from == to)
+        return now;
+    // Source NI occupancy plus the constant wire latency. The
+    // destination side's processing contention is modeled by the
+    // receiving controller (GlobalProtocol's per-node resource), so
+    // it is not charged again here.
+    Tick departed = ni(from).acquire(now) + ni(from).occupancyPerUse();
+    return departed + netLatency;
+}
+
+void
+Network::post(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    counts[static_cast<std::size_t>(kind)]++;
+    if (from == to)
+        return;
+    ni(from).acquire(now);
+    ni(to).acquire(now + netLatency);
+}
+
+std::uint64_t
+Network::count(MsgKind kind) const
+{
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+Network::totalMessages() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    return total;
+}
+
+Tick
+Network::waited() const
+{
+    Tick total = 0;
+    for (const auto &r : nis)
+        total += r.waited();
+    return total;
+}
+
+} // namespace rnuma

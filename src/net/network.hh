@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The inter-node interconnect: a point-to-point network with a
+ * constant 100-cycle latency and contention modeled at the network
+ * interfaces, exactly the abstraction of Section 4 of the paper.
+ */
+
+#ifndef RNUMA_NET_NETWORK_HH
+#define RNUMA_NET_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/bus.hh"
+
+namespace rnuma
+{
+
+/** Message categories, for traffic accounting. */
+enum class MsgKind : std::uint8_t
+{
+    Request,      ///< block fetch request to a home
+    Reply,        ///< data reply from a home
+    Invalidate,   ///< directory-initiated invalidation
+    Forward,      ///< three-hop forward to a dirty owner
+    Writeback,    ///< voluntary block writeback
+    Flush         ///< page-replacement flush of a block
+};
+
+constexpr std::size_t numMsgKinds = 6;
+
+/** The machine-wide network. */
+class Network
+{
+  public:
+    /**
+     * @param nodes       node count
+     * @param latency     fixed point-to-point latency
+     * @param ni_occupancy per-message occupancy of a network interface
+     */
+    Network(std::size_t nodes, Tick latency, Tick ni_occupancy);
+
+    /**
+     * Send one message; returns the arrival completion time at the
+     * destination. Local (from == to) messages bypass the network
+     * entirely and arrive immediately.
+     *
+     * The source NI serializes outgoing messages and the destination
+     * NI serializes incoming ones; the wire adds the fixed latency.
+     */
+    Tick send(Tick now, NodeId from, NodeId to, MsgKind kind);
+
+    /**
+     * Account a message's NI occupancy without stalling the sender
+     * (used for asynchronous writebacks and invalidations whose
+     * latency is charged separately).
+     */
+    void post(Tick now, NodeId from, NodeId to, MsgKind kind);
+
+    /** Total messages of one kind. */
+    std::uint64_t count(MsgKind kind) const;
+
+    /** Total messages of all kinds. */
+    std::uint64_t totalMessages() const;
+
+    /** Aggregate NI queueing delay. */
+    Tick waited() const;
+
+    Tick latency() const { return netLatency; }
+
+  private:
+    Tick netLatency;
+    std::vector<Resource> nis;
+    std::uint64_t counts[numMsgKinds] = {};
+
+    Resource &ni(NodeId n);
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_NET_NETWORK_HH

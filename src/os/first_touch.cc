@@ -1,0 +1,45 @@
+#include "os/first_touch.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+NodeId
+FirstTouchPlacement::touch(Addr page, NodeId node)
+{
+    auto [it, inserted] = homes.try_emplace(page, node);
+    return it->second;
+}
+
+void
+FirstTouchPlacement::pin(Addr page, NodeId node)
+{
+    homes[page] = node;
+}
+
+bool
+FirstTouchPlacement::placed(Addr page) const
+{
+    return homes.find(page) != homes.end();
+}
+
+NodeId
+FirstTouchPlacement::homeOf(Addr page) const
+{
+    auto it = homes.find(page);
+    RNUMA_ASSERT(it != homes.end(), "page ", page, " has no home");
+    return it->second;
+}
+
+std::size_t
+FirstTouchPlacement::pagesAt(NodeId node) const
+{
+    std::size_t n = 0;
+    for (const auto &kv : homes)
+        if (kv.second == node)
+            ++n;
+    return n;
+}
+
+} // namespace rnuma

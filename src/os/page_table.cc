@@ -1,0 +1,3 @@
+#include "os/page_table.hh"
+
+// PageTable is header-only.

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-node page tables. The machine runs a single OS image but keeps
+ * separate page tables per node (Section 2), so each node can
+ * independently decide how a given remote page is mapped: directly to
+ * the CC-NUMA global physical address, or to a local S-COMA page
+ * cache frame.
+ */
+
+#ifndef RNUMA_OS_PAGE_TABLE_HH
+#define RNUMA_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** How one node maps one page. */
+enum class PageMode : std::uint8_t
+{
+    Unmapped, ///< never touched on this node (soft fault on access)
+    Local,    ///< the node is the page's home
+    CCNuma,   ///< mapped straight to the remote global address
+    SComa     ///< mapped to a local page-cache frame
+};
+
+/** One node's page table. */
+class PageTable
+{
+  public:
+    /** Mapping mode of a page (Unmapped when never set). */
+    PageMode
+    modeOf(Addr page) const
+    {
+        auto it = map.find(page);
+        return it == map.end() ? PageMode::Unmapped : it->second;
+    }
+
+    /** Install or change a mapping. */
+    void set(Addr page, PageMode mode) { map[page] = mode; }
+
+    /** Remove a mapping (page replacement / relocation unmap). */
+    void unmap(Addr page) { map.erase(page); }
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return map.size(); }
+
+    /** Count of pages in a given mode. */
+    std::size_t
+    countMode(PageMode mode) const
+    {
+        std::size_t n = 0;
+        for (const auto &kv : map)
+            if (kv.second == mode)
+                ++n;
+        return n;
+    }
+
+  private:
+    std::unordered_map<Addr, PageMode> map;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_OS_PAGE_TABLE_HH

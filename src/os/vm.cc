@@ -1,0 +1,35 @@
+#include "os/vm.hh"
+
+namespace rnuma
+{
+
+VmManager::VmManager(const Params &params, NodeId node_, RunStats &stats_)
+    : p(params), node(node_), stats(stats_)
+{
+}
+
+Tick
+VmManager::chargeMapFault(Tick now)
+{
+    stats.pageFaults++;
+    stats.osCycles += p.softTrap;
+    return now + p.softTrap;
+}
+
+Tick
+VmManager::chargeAllocation(Tick now, std::size_t flushed_blocks)
+{
+    Tick cost = p.pageOpCost(flushed_blocks);
+    stats.osCycles += cost;
+    return now + cost;
+}
+
+Tick
+VmManager::chargeRelocation(Tick now, std::size_t moved_blocks)
+{
+    Tick cost = p.pageOpCost(moved_blocks);
+    stats.osCycles += cost;
+    return now + cost;
+}
+
+} // namespace rnuma

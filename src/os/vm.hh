@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The OS virtual-memory cost model. The paper charges fixed costs for
+ * the OS interventions (Table 2): soft traps for page faults and
+ * relocation interrupts, TLB shootdowns, and a per-block cost for
+ * flushing or moving blocks during page allocation, replacement and
+ * relocation. No kernel code is simulated; this class centralizes the
+ * cost arithmetic and the OS-event statistics.
+ */
+
+#ifndef RNUMA_OS_VM_HH
+#define RNUMA_OS_VM_HH
+
+#include "common/params.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Per-node OS page-management cost model. */
+class VmManager
+{
+  public:
+    VmManager(const Params &params, NodeId node, RunStats &stats);
+
+    /**
+     * Charge a simple mapping fault (first touch of a remote page
+     * that maps CC-NUMA, or of a local page): one soft trap.
+     * @return the tick at which the faulting CPU resumes.
+     */
+    Tick chargeMapFault(Tick now);
+
+    /**
+     * Charge an S-COMA page allocation, or a replacement when
+     * @p flushed_blocks > 0 blocks had to be flushed from the victim:
+     * soft trap + TLB shootdown + setup + per-block flush cost
+     * (Table 2: 3000-11500 cycles).
+     */
+    Tick chargeAllocation(Tick now, std::size_t flushed_blocks);
+
+    /**
+     * Charge an R-NUMA relocation: same mechanism as allocation
+     * (soft trap, shootdown, per-block move), per Section 4 ("page
+     * relocation uses similar mechanisms as page
+     * allocation/replacement and incurs the same overheads").
+     */
+    Tick chargeRelocation(Tick now, std::size_t moved_blocks);
+
+    NodeId nodeId() const { return node; }
+
+  private:
+    const Params &p;
+    NodeId node;
+    RunStats &stats;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_OS_VM_HH

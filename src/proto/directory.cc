@@ -1,0 +1,4 @@
+#include "proto/directory.hh"
+
+// Directory is header-only; see protocol.cc for the state machine
+// that manipulates DirEntry instances.

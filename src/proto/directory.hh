@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Directory state for the DSM coherence protocol. Every cache block
+ * has a full-map entry at its home node tracking sharers, the
+ * exclusive owner, and the extra "prior owner" state the paper adds
+ * so the directory can detect refetches of read-write blocks that
+ * were voluntarily written back (Section 3.1).
+ */
+
+#ifndef RNUMA_PROTO_DIRECTORY_HH
+#define RNUMA_PROTO_DIRECTORY_HH
+
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Full-map directory entry for one coherence block. */
+struct DirEntry
+{
+    /**
+     * Nodes the directory believes hold a copy. Read-only copies are
+     * evicted silently (non-notifying protocol), so a bit may be
+     * stale — which is precisely how read refetches are detected: a
+     * request from a node whose bit is still set means the node lost
+     * its copy to capacity or conflict, not coherence.
+     */
+    std::bitset<maxNodes> sharers;
+
+    /**
+     * Nodes that previously held the block exclusively and
+     * voluntarily wrote it back (block-cache eviction). A request
+     * from such a node is a refetch of a read-write block.
+     */
+    std::bitset<maxNodes> prior;
+
+    /** Nodes that have ever fetched the block (cold-miss detection). */
+    std::bitset<maxNodes> touched;
+
+    /** Node holding the block exclusively (dirty), if any. */
+    NodeId owner = invalidNode;
+
+    bool hasOwner() const { return owner != invalidNode; }
+
+    /** Number of valid sharer bits. */
+    std::size_t sharerCount() const { return sharers.count(); }
+};
+
+/**
+ * The directory for the whole machine, keyed by block address. In
+ * hardware each home node holds the slice for its own pages; a single
+ * map is behaviorally identical and simpler.
+ */
+class Directory
+{
+  public:
+    /** Find-or-create the entry for a block address. */
+    DirEntry &entry(Addr block) { return entries_[block]; }
+
+    /** Read-only probe; nullptr when the block was never touched. */
+    const DirEntry *
+    peek(Addr block) const
+    {
+        auto it = entries_.find(block);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Number of blocks with directory state. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_PROTO_DIRECTORY_HH

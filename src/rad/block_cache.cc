@@ -1,0 +1,13 @@
+#include "rad/block_cache.hh"
+
+namespace rnuma
+{
+
+BlockCache::BlockCache(std::size_t size_bytes, const Params &params,
+                       bool infinite)
+    : cache(infinite ? params.blockSize : size_bytes, params.blockSize,
+            params.blockCacheAssoc, infinite)
+{
+}
+
+} // namespace rnuma

@@ -1,0 +1,110 @@
+#include "rad/page_cache.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+PageCache::PageCache(std::size_t frames, std::size_t blocks_per_page)
+    : capacity(frames), blocksPerPage(blocks_per_page)
+{
+    RNUMA_ASSERT(capacity >= 1, "page cache needs at least one frame");
+    RNUMA_ASSERT(blocksPerPage >= 1, "page needs at least one block");
+}
+
+bool
+PageCache::contains(Addr page) const
+{
+    return byPage.find(page) != byPage.end();
+}
+
+PageCache::Frame &
+PageCache::frame(Addr page)
+{
+    auto it = byPage.find(page);
+    RNUMA_ASSERT(it != byPage.end(), "page ", page, " not cached");
+    return it->second;
+}
+
+const PageCache::Frame &
+PageCache::frame(Addr page) const
+{
+    return const_cast<PageCache *>(this)->frame(page);
+}
+
+Addr
+PageCache::lrmVictim() const
+{
+    RNUMA_ASSERT(!lrm.empty(), "victim requested from empty page cache");
+    return lrm.front();
+}
+
+void
+PageCache::insert(Addr page)
+{
+    RNUMA_ASSERT(!contains(page), "page ", page, " already cached");
+    RNUMA_ASSERT(!full(), "page cache full");
+    Frame f;
+    f.tags.assign(blocksPerPage, FineTag::Invalid);
+    auto [it, ok] = byPage.emplace(page, std::move(f));
+    (void)ok;
+    lrm.push_back(page);
+    it->second.lrmPos = std::prev(lrm.end());
+}
+
+void
+PageCache::erase(Addr page)
+{
+    auto it = byPage.find(page);
+    RNUMA_ASSERT(it != byPage.end(), "erasing uncached page ", page);
+    lrm.erase(it->second.lrmPos);
+    byPage.erase(it);
+}
+
+void
+PageCache::recordMiss(Addr page)
+{
+    Frame &f = frame(page);
+    lrm.splice(lrm.end(), lrm, f.lrmPos);
+    f.lrmPos = std::prev(lrm.end());
+}
+
+FineTag
+PageCache::tag(Addr page, std::size_t idx) const
+{
+    const Frame &f = frame(page);
+    RNUMA_ASSERT(idx < f.tags.size(), "bad block index ", idx);
+    return f.tags[idx];
+}
+
+void
+PageCache::setTag(Addr page, std::size_t idx, FineTag t)
+{
+    Frame &f = frame(page);
+    RNUMA_ASSERT(idx < f.tags.size(), "bad block index ", idx);
+    f.tags[idx] = t;
+}
+
+std::size_t
+PageCache::validBlocks(Addr page) const
+{
+    const Frame &f = frame(page);
+    std::size_t n = 0;
+    for (FineTag t : f.tags)
+        if (t != FineTag::Invalid)
+            ++n;
+    return n;
+}
+
+void
+PageCache::forEachValid(
+    Addr page,
+    const std::function<void(std::size_t, FineTag)> &fn) const
+{
+    const Frame &f = frame(page);
+    for (std::size_t i = 0; i < f.tags.size(); ++i)
+        if (f.tags[i] != FineTag::Invalid)
+            fn(i, f.tags[i]);
+}
+
+} // namespace rnuma

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The S-COMA page cache (Section 2.2): a region of main memory set
+ * aside to cache remote pages at page granularity, with two-bit
+ * fine-grain access-control tags per block, an auxiliary translation
+ * table (modeled as the page->frame map), and the paper's
+ * Least-Recently-Missed replacement policy — the frame list is
+ * reordered on remote misses rather than on every reference
+ * (Section 4).
+ */
+
+#ifndef RNUMA_RAD_PAGE_CACHE_HH
+#define RNUMA_RAD_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Two-bit fine-grain access-control tag for one block. */
+enum class FineTag : std::uint8_t
+{
+    Invalid,   ///< block absent; the RAD must inhibit memory and fetch
+    ReadOnly,  ///< local copy valid for reads
+    ReadWrite  ///< local copy valid for reads and writes (dirty)
+};
+
+/** One node's page cache. */
+class PageCache
+{
+  public:
+    /**
+     * @param frames          page frames available (320 KB / 4 KB = 80
+     *                        in the base system)
+     * @param blocks_per_page fine-grain tags per frame
+     */
+    PageCache(std::size_t frames, std::size_t blocks_per_page);
+
+    /** Is the page currently cached (translation-table hit)? */
+    bool contains(Addr page) const;
+
+    /** All frames in use? */
+    bool full() const { return used() == capacity; }
+
+    /** Frames in use. */
+    std::size_t used() const { return byPage.size(); }
+
+    /** Total frames. */
+    std::size_t frames() const { return capacity; }
+
+    /**
+     * The replacement victim: the least-recently-missed page.
+     * Only valid when at least one page is cached.
+     */
+    Addr lrmVictim() const;
+
+    /** Insert a page (must not be present; must not be full). */
+    void insert(Addr page);
+
+    /** Remove a page and clear its tags. */
+    void erase(Addr page);
+
+    /**
+     * Record a remote miss on a cached page, moving it to the
+     * most-recently-missed end of the LRM list.
+     */
+    void recordMiss(Addr page);
+
+    /** Fine-grain tag of block @p idx of @p page. */
+    FineTag tag(Addr page, std::size_t idx) const;
+
+    /** Set a fine-grain tag. */
+    void setTag(Addr page, std::size_t idx, FineTag t);
+
+    /** Number of valid (non-Invalid) tags on a page. */
+    std::size_t validBlocks(Addr page) const;
+
+    /** Visit valid blocks of a page as (index, tag). */
+    void forEachValid(
+        Addr page,
+        const std::function<void(std::size_t, FineTag)> &fn) const;
+
+  private:
+    struct Frame
+    {
+        std::vector<FineTag> tags;
+        std::list<Addr>::iterator lrmPos;
+    };
+
+    std::size_t capacity;
+    std::size_t blocksPerPage;
+    std::unordered_map<Addr, Frame> byPage;
+    /** Front = least recently missed; back = most recently missed. */
+    std::list<Addr> lrm;
+
+    Frame &frame(Addr page);
+    const Frame &frame(Addr page) const;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_RAD_PAGE_CACHE_HH

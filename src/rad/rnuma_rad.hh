@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The R-NUMA Remote Access Device (Section 3, Figure 4): the union of
+ * the CC-NUMA and S-COMA RADs plus per-node, per-page reactive
+ * refetch counters. Remote pages start CC-NUMA; when a page's refetch
+ * count crosses the threshold, the RAD interrupts the OS, which
+ * relocates the page into the S-COMA page cache. Pages evicted from
+ * the page cache revert to CC-NUMA on their next touch.
+ */
+
+#ifndef RNUMA_RAD_RNUMA_RAD_HH
+#define RNUMA_RAD_RNUMA_RAD_HH
+
+#include "core/reactive_policy.hh"
+#include "rad/block_cache.hh"
+#include "rad/page_cache.hh"
+#include "rad/rad.hh"
+
+namespace rnuma
+{
+
+/** R-NUMA RAD: block cache + page cache + reactive counters. */
+class RNumaRad : public Rad
+{
+  public:
+    RNumaRad(const Params &params, NodeId node, RadDeps deps);
+
+    RadAccess access(Tick now, Addr addr, bool write,
+                     bool upgrade) override;
+    bool invalidateBlock(Addr block) override;
+    void downgradeBlock(Addr block) override;
+    void l1Writeback(Tick now, Addr block) override;
+    bool hasWritePermission(Addr block) const override;
+
+    /** Test introspection. */
+    const BlockCache &blockCache() const { return bc; }
+    const PageCache &pageCache() const { return pc; }
+    const ReactivePolicy &policy() const { return counters; }
+
+  private:
+    BlockCache bc;
+    PageCache pc;
+    ReactivePolicy counters;
+
+    /** CC-NUMA-mode path through the block cache. */
+    RadAccess blockPath(Tick now, Addr addr, bool write);
+
+    /** S-COMA-mode path through the page cache. */
+    RadAccess pagePath(Tick now, Addr addr, bool write);
+
+    /**
+     * Relocate a page from CC-NUMA to S-COMA (Section 3.1): trap,
+     * flush the page's blocks from the L1s and block cache into a
+     * freshly allocated frame (replacing the LRM victim if needed),
+     * remap, and reset the counter. Returns the resume tick.
+     */
+    Tick relocate(Tick now, Addr page);
+
+    /** Flush a victim page's blocks home (notifying). */
+    std::size_t flushPage(Tick now, Addr victim_page);
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_RAD_RNUMA_RAD_HH

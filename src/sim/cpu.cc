@@ -1,0 +1,3 @@
+#include "sim/cpu.hh"
+
+// CpuState and CpuMap are header-only.

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Processor model. The paper's nodes contain 400 MHz dual-issue,
+ * statically scheduled processors (Ross HyperSparc). Here a CPU is a
+ * stream cursor plus a local clock: compute (think) cycles accumulate
+ * arithmetically, memory references consult the L1, and misses
+ * suspend the CPU until the node/RAD/home round trip completes.
+ */
+
+#ifndef RNUMA_SIM_CPU_HH
+#define RNUMA_SIM_CPU_HH
+
+#include "common/types.hh"
+#include "workload/workload.hh"
+
+namespace rnuma
+{
+
+/** Per-CPU execution state owned by the Machine. */
+struct CpuState
+{
+    /** Local clock: when this CPU's next instruction issues. */
+    Tick time = 0;
+    /** Stream exhausted. */
+    bool done = false;
+    /** Parked at a barrier awaiting release. */
+    bool waiting = false;
+    /**
+     * A miss that must wait its turn in global time order: the CPU
+     * ran ahead of the event queue on L1 hits, so the shared-resource
+     * access is deferred to an event at the miss tick (keeping bus,
+     * memory, directory and network acquisitions causally ordered).
+     */
+    bool hasPending = false;
+    Ref pending{};
+    /** Ticks spent stalled on memory (diagnostics). */
+    Tick stalled = 0;
+    /** Ticks spent parked at barriers (diagnostics). */
+    Tick barrierWait = 0;
+};
+
+/** CPU-id helpers: global id = node * cpusPerNode + local index. */
+struct CpuMap
+{
+    std::size_t cpusPerNode = 1;
+
+    NodeId
+    nodeOf(CpuId cpu) const
+    {
+        return static_cast<NodeId>(cpu / cpusPerNode);
+    }
+
+    std::size_t
+    localOf(CpuId cpu) const
+    {
+        return static_cast<std::size_t>(cpu % cpusPerNode);
+    }
+
+    CpuId
+    globalOf(NodeId node, std::size_t local) const
+    {
+        return static_cast<CpuId>(node * cpusPerNode + local);
+    }
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_SIM_CPU_HH

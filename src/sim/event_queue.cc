@@ -1,0 +1,24 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+void
+EventQueue::schedule(Tick when, std::uint32_t tag)
+{
+    heap.push(Event{when, seqCounter++, tag});
+}
+
+Event
+EventQueue::pop()
+{
+    RNUMA_ASSERT(!heap.empty(), "pop from empty event queue");
+    Event e = heap.top();
+    heap.pop();
+    popCount++;
+    return e;
+}
+
+} // namespace rnuma

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The discrete-event engine. CPUs are re-scheduled after every shared
+ * resource interaction (L1 miss), so all bus, directory, and network
+ * activity is processed in global time order; L1 hits are accumulated
+ * arithmetically without events.
+ */
+
+#ifndef RNUMA_SIM_EVENT_QUEUE_HH
+#define RNUMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** One scheduled event: a CPU resumes at a tick. */
+struct Event
+{
+    Tick when = 0;
+    std::uint64_t seq = 0; ///< insertion order: deterministic ties
+    std::uint32_t tag = 0; ///< payload (the CPU id)
+};
+
+/** Min-heap event queue with deterministic tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Schedule @p tag to run at @p when. */
+    void schedule(Tick when, std::uint32_t tag);
+
+    /** Any events pending? */
+    bool empty() const { return heap.empty(); }
+
+    /** Pop the earliest event (ties broken by insertion order). */
+    Event pop();
+
+    /** Tick of the earliest pending event (queue must not be empty). */
+    Tick peekTime() const { return heap.top().when; }
+
+    /** Events processed so far. */
+    std::uint64_t processed() const { return popCount; }
+
+    /** Events currently pending. */
+    std::size_t pending() const { return heap.size(); }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t popCount = 0;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,74 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace rnuma
+{
+
+RunStats
+runProtocol(const Params &params, Protocol protocol, Workload &wl)
+{
+    wl.reset();
+    Machine m(params, protocol, wl);
+    return m.run();
+}
+
+RunStats
+runInfiniteBaseline(const Params &params, Workload &wl)
+{
+    Params base = params;
+    base.infiniteBlockCache = true;
+    return runProtocol(base, Protocol::CCNuma, wl);
+}
+
+namespace
+{
+
+double
+ratio(Tick num, Tick den)
+{
+    RNUMA_ASSERT(den > 0, "baseline execution time is zero");
+    return static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+double
+ProtocolComparison::normCC() const
+{
+    return ratio(ccNuma.ticks, baseline.ticks);
+}
+
+double
+ProtocolComparison::normSC() const
+{
+    return ratio(sComa.ticks, baseline.ticks);
+}
+
+double
+ProtocolComparison::normRN() const
+{
+    return ratio(rNuma.ticks, baseline.ticks);
+}
+
+double
+ProtocolComparison::bestOfBase() const
+{
+    return std::min(normCC(), normSC());
+}
+
+ProtocolComparison
+compareProtocols(const Params &params, Workload &wl)
+{
+    ProtocolComparison c;
+    c.baseline = runInfiniteBaseline(params, wl);
+    c.ccNuma = runProtocol(params, Protocol::CCNuma, wl);
+    c.sComa = runProtocol(params, Protocol::SComa, wl);
+    c.rNuma = runProtocol(params, Protocol::RNuma, wl);
+    return c;
+}
+
+} // namespace rnuma

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Convenience harness: run one workload under each protocol (plus the
+ * infinite-block-cache CC-NUMA baseline all figures normalize to) and
+ * report normalized execution times, as in Figures 6-9.
+ */
+
+#ifndef RNUMA_SIM_RUNNER_HH
+#define RNUMA_SIM_RUNNER_HH
+
+#include "common/params.hh"
+#include "common/stats.hh"
+#include "workload/workload.hh"
+
+namespace rnuma
+{
+
+/** Run one protocol over a workload (resets the workload first). */
+RunStats runProtocol(const Params &params, Protocol protocol,
+                     Workload &wl);
+
+/** Run the Figure 6 baseline: CC-NUMA with an infinite block cache. */
+RunStats runInfiniteBaseline(const Params &params, Workload &wl);
+
+/** A four-way comparison for one workload and parameter set. */
+struct ProtocolComparison
+{
+    RunStats baseline; ///< CC-NUMA, infinite block cache
+    RunStats ccNuma;
+    RunStats sComa;
+    RunStats rNuma;
+
+    double normCC() const;
+    double normSC() const;
+    double normRN() const;
+
+    /** min(normCC, normSC): "the best of the two protocols". */
+    double bestOfBase() const;
+};
+
+/** Run all four configurations back to back. */
+ProtocolComparison compareProtocols(const Params &params, Workload &wl);
+
+} // namespace rnuma
+
+#endif // RNUMA_SIM_RUNNER_HH

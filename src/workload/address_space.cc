@@ -1,0 +1,32 @@
+#include "workload/address_space.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+AddressSpace::AddressSpace(std::size_t page_size)
+    : pageBytes(page_size)
+{
+    RNUMA_ASSERT(pageBytes > 0 && (pageBytes & (pageBytes - 1)) == 0,
+                 "page size must be a power of two");
+}
+
+Addr
+AddressSpace::allocBytes(std::size_t bytes)
+{
+    Addr base = next;
+    std::size_t pages = (bytes + pageBytes - 1) / pageBytes;
+    if (pages == 0)
+        pages = 1;
+    next += pages * pageBytes;
+    return base;
+}
+
+Addr
+AddressSpace::allocPages(std::size_t n)
+{
+    return allocBytes(n * pageBytes);
+}
+
+} // namespace rnuma

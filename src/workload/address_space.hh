@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A trivial global-address-space allocator for workload generators:
+ * page-aligned bump allocation. Homes are assigned later by
+ * first-touch, so the allocator only hands out disjoint ranges.
+ */
+
+#ifndef RNUMA_WORKLOAD_ADDRESS_SPACE_HH
+#define RNUMA_WORKLOAD_ADDRESS_SPACE_HH
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Page-aligned bump allocator over the global address space. */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(std::size_t page_size);
+
+    /** Allocate @p bytes, rounded up to whole pages. */
+    Addr allocBytes(std::size_t bytes);
+
+    /** Allocate @p n pages. */
+    Addr allocPages(std::size_t n);
+
+    /** Bytes handed out so far (page-rounded). */
+    std::size_t bytesAllocated() const { return next; }
+
+    std::size_t pageSize() const { return pageBytes; }
+
+  private:
+    std::size_t pageBytes;
+    Addr next = 0;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_WORKLOAD_ADDRESS_SPACE_HH

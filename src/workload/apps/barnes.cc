@@ -1,0 +1,101 @@
+/**
+ * @file
+ * barnes: Barnes-Hut N-body (SPLASH-2). Sharing signature: every
+ * body's force traversal re-reads the small, hot top of the octree
+ * thousands of times per timestep, while the large cold remainder
+ * (lower cells and far bodies) is touched sparsely. The hot set
+ * (~56 KB remote per node) overflows the 32 KB block cache, so
+ * CC-NUMA refetches it continuously; the total remote page set
+ * (hundreds of pages) overflows the 320 KB page cache, so S-COMA
+ * thrashes. R-NUMA relocates exactly the hot pages and beats both
+ * (Section 5.2: "R-NUMA performs best ... this is the case for
+ * barnes and raytrace").
+ */
+
+#include "workload/apps/apps.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace rnuma
+{
+
+std::unique_ptr<VectorWorkload>
+makeBarnes(const Params &p, double scale, std::uint64_t seed)
+{
+    StreamBuilder b("barnes", p, seed ^ 0xba12ULL);
+    const std::size_t bodies = scaled(16384, scale);
+    const std::size_t body_bytes = 32;
+    const std::size_t hot_pages = 16;   // top tree levels
+    const std::size_t cold_pages = 240; // lower cells
+    const std::size_t hot_reads = 12;
+    const std::size_t cold_reads = 1;
+    const std::size_t iters = 4;
+    const std::size_t ncpus = b.ncpus();
+    const std::size_t own = bodies / ncpus ? bodies / ncpus : 1;
+
+    Addr bodies_base = b.allocBytes(bodies * body_bytes);
+    for (CpuId c = 0; c < ncpus; ++c) {
+        b.touchRange(c, bodies_base + c * own * body_bytes,
+                     own * body_bytes);
+    }
+
+    // Tree cells, partitioned across nodes (cells are built
+    // cooperatively; each node homes a slice).
+    Addr hot = b.allocPages(hot_pages);
+    Addr cold = b.allocPages(cold_pages);
+    auto touch_sliced = [&](Addr base_addr, std::size_t pages) {
+        std::size_t per = pages / b.nnodes() ? pages / b.nnodes() : 1;
+        for (std::size_t pg = 0; pg < pages; ++pg) {
+            NodeId n = static_cast<NodeId>(
+                std::min(pg / per, b.nnodes() - 1));
+            b.touch(static_cast<CpuId>(n * b.cpusPerNode()),
+                    base_addr + pg * p.pageSize);
+        }
+    };
+    touch_sliced(hot, hot_pages);
+    touch_sliced(cold, cold_pages);
+
+    auto rand_block = [&](Addr base_addr, std::size_t pages) {
+        std::size_t blocks = pages * p.blocksPerPage();
+        return base_addr + b.rng().below(blocks) * p.blockSize;
+    };
+
+    b.barrier(); // placement completes before the parallel phase
+    for (std::size_t it = 0; it < iters; ++it) {
+        // Force traversal.
+        for (CpuId c = 0; c < ncpus; ++c) {
+            Addr mine = bodies_base + c * own * body_bytes;
+            for (std::size_t i = 0; i < own; ++i) {
+                for (std::size_t k = 0; k < hot_reads; ++k)
+                    b.read(c, rand_block(hot, hot_pages), 2);
+                for (std::size_t k = 0; k < cold_reads; ++k)
+                    b.read(c, rand_block(cold, cold_pages), 2);
+                // An occasional far-body read.
+                b.read(c, bodies_base +
+                           b.rng().below(bodies) * body_bytes, 2);
+                b.write(c, mine + i * body_bytes, 2);
+            }
+        }
+        b.barrier();
+        // Tree rebuild: each node's lead CPU rewrites ~40% of its hot
+        // slice, invalidating consumers (the hot pages are read-write
+        // shared, matching Table 4's 97%).
+        std::size_t hot_blocks = hot_pages * p.blocksPerPage();
+        std::size_t per_node = hot_blocks / b.nnodes();
+        for (NodeId n = 0; n < b.nnodes(); ++n) {
+            CpuId lead = static_cast<CpuId>(n * b.cpusPerNode());
+            for (std::size_t k = 0; k < per_node * 2 / 5; ++k) {
+                Addr a = hot + (n * per_node +
+                    b.rng().below(per_node)) * p.blockSize;
+                b.write(lead, a, 2);
+            }
+        }
+        b.barrier();
+    }
+    return b.finish();
+}
+
+} // namespace rnuma

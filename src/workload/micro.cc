@@ -1,0 +1,156 @@
+#include "workload/micro.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+/** First CPU of a node. */
+CpuId
+firstCpuOf(const Params &p, NodeId node)
+{
+    return static_cast<CpuId>(node * p.cpusPerNode);
+}
+
+} // namespace
+
+std::unique_ptr<VectorWorkload>
+makePrivateLoop(const Params &p, std::size_t pages_per_cpu,
+                std::size_t iters)
+{
+    StreamBuilder b("private-loop", p, 0x11);
+    std::vector<Addr> base(p.numCpus());
+    for (CpuId c = 0; c < p.numCpus(); ++c) {
+        base[c] = b.allocPages(pages_per_cpu);
+        b.touchRange(c, base[c], pages_per_cpu * p.pageSize);
+    }
+    b.barrier(); // placement completes before the parallel phase
+    for (std::size_t it = 0; it < iters; ++it) {
+        for (CpuId c = 0; c < p.numCpus(); ++c) {
+            for (std::size_t pg = 0; pg < pages_per_cpu; ++pg) {
+                for (std::size_t blk = 0; blk < p.blocksPerPage();
+                     ++blk) {
+                    Addr a = base[c] + pg * p.pageSize +
+                        blk * p.blockSize;
+                    b.read(c, a);
+                    b.write(c, a);
+                }
+            }
+        }
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeHotRemoteReuse(const Params &p, std::size_t remote_pages,
+                   std::size_t sweeps)
+{
+    RNUMA_ASSERT(p.numNodes >= 2, "needs at least two nodes");
+    StreamBuilder b("hot-remote-reuse", p, 0x22);
+    Addr data = b.allocPages(remote_pages);
+    CpuId owner = firstCpuOf(p, 1);
+    CpuId reader = firstCpuOf(p, 0);
+    b.touchRange(owner, data, remote_pages * p.pageSize);
+    b.barrier(); // placement completes before the parallel phase
+    for (std::size_t s = 0; s < sweeps; ++s) {
+        for (std::size_t pg = 0; pg < remote_pages; ++pg) {
+            for (std::size_t blk = 0; blk < p.blocksPerPage(); ++blk) {
+                b.read(reader,
+                       data + pg * p.pageSize + blk * p.blockSize);
+            }
+        }
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeProducerConsumer(const Params &p, std::size_t pages,
+                     std::size_t rounds)
+{
+    RNUMA_ASSERT(p.numNodes >= 2, "needs at least two nodes");
+    StreamBuilder b("producer-consumer", p, 0x33);
+    Addr buf = b.allocPages(pages);
+    CpuId prod = firstCpuOf(p, 0);
+    CpuId cons = firstCpuOf(p, 1);
+    b.touchRange(prod, buf, pages * p.pageSize);
+    b.barrier(); // placement completes before the parallel phase
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t pg = 0; pg < pages; ++pg)
+            for (std::size_t blk = 0; blk < p.blocksPerPage(); ++blk)
+                b.write(prod, buf + pg * p.pageSize + blk * p.blockSize);
+        b.barrier();
+        for (std::size_t pg = 0; pg < pages; ++pg)
+            for (std::size_t blk = 0; blk < p.blocksPerPage(); ++blk)
+                b.read(cons, buf + pg * p.pageSize + blk * p.blockSize);
+        b.barrier();
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeAdversary(const Params &p, std::size_t pages,
+              std::size_t touches_per_page)
+{
+    RNUMA_ASSERT(p.numNodes >= 2, "needs at least two nodes");
+    StreamBuilder b("adversary", p, 0x44);
+    CpuId owner = firstCpuOf(p, 1);
+    CpuId victim = firstCpuOf(p, 0);
+
+    // Pairs of blocks exactly one (largest) block-cache capacity
+    // apart, so the two blocks conflict in every direct-mapped cache
+    // in the system (L1, CC-NUMA block cache, R-NUMA block cache —
+    // all power-of-two sizes dividing the stride). Alternating reads
+    // make every access a capacity/conflict refetch.
+    std::size_t stride = std::max(
+        {p.blockCacheSize, p.l1Size, p.rnumaBlockCacheSize});
+    std::size_t pages_per_half = stride / p.pageSize;
+    if (pages_per_half == 0)
+        pages_per_half = 1;
+
+    std::size_t npairs = (pages + 1) / 2;
+    std::vector<std::pair<Addr, Addr>> pairs;
+    for (std::size_t pair = 0; pair < npairs; ++pair) {
+        Addr chunk = b.allocPages(2 * pages_per_half);
+        b.touchRange(owner, chunk, 2 * pages_per_half * p.pageSize);
+        pairs.emplace_back(chunk,
+                           chunk + pages_per_half * p.pageSize);
+    }
+    b.barrier(); // placement completes before the parallel phase
+    for (auto [a, c] : pairs) {
+        for (std::size_t t = 0; t < touches_per_page; ++t) {
+            b.read(victim, a, 2);
+            b.read(victim, c, 2);
+        }
+        // The pages are never referenced again: the Section 3.2
+        // worst case for R-NUMA.
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeRwSharing(const Params &p, std::size_t rounds)
+{
+    StreamBuilder b("rw-sharing", p, 0x55);
+    Addr page = b.allocPages(1);
+    b.touchRange(firstCpuOf(p, 0), page, p.pageSize);
+    b.barrier(); // placement completes before the parallel phase
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (CpuId c = 0; c < p.numCpus(); ++c) {
+            std::size_t blk = (r + c) % p.blocksPerPage();
+            Addr a = page + blk * p.blockSize;
+            b.read(c, a, 2);
+            b.write(c, a, 2);
+        }
+    }
+    return b.finish();
+}
+
+} // namespace rnuma

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microbenchmark workloads: small, analyzable reference patterns used
+ * by the unit tests, the examples, and the worst-case (competitive
+ * bound) validation bench.
+ */
+
+#ifndef RNUMA_WORKLOAD_MICRO_HH
+#define RNUMA_WORKLOAD_MICRO_HH
+
+#include <memory>
+
+#include "common/params.hh"
+#include "workload/workload.hh"
+
+namespace rnuma
+{
+
+/**
+ * Every CPU loops over a private, node-local array. No remote
+ * traffic at all; all protocols should tie the infinite baseline.
+ */
+std::unique_ptr<VectorWorkload>
+makePrivateLoop(const Params &p, std::size_t pages_per_cpu,
+                std::size_t iters);
+
+/**
+ * CPU 0 of node 0 repeatedly reads a set of pages homed on node 1.
+ * With enough repetitions and a working set bigger than the block
+ * cache, this is the canonical "reuse page" pattern that favors
+ * S-COMA and triggers R-NUMA relocation.
+ */
+std::unique_ptr<VectorWorkload>
+makeHotRemoteReuse(const Params &p, std::size_t remote_pages,
+                   std::size_t sweeps);
+
+/**
+ * Producer/consumer: node 0 writes a buffer, barrier, node 1 reads
+ * it, barrier, repeat. Pure coherence misses — the canonical
+ * "communication page" pattern where CC-NUMA wins and S-COMA pays
+ * allocation for nothing.
+ */
+std::unique_ptr<VectorWorkload>
+makeProducerConsumer(const Params &p, std::size_t pages,
+                     std::size_t rounds);
+
+/**
+ * The worst case of the Section 3.2 model: for each of @p pages
+ * remote pages, one CPU generates exactly enough capacity refetches
+ * on one block to cross the relocation threshold, then never touches
+ * the page again. R-NUMA pays T refetches + relocation + (eventual)
+ * replacement; CC-NUMA pays only the refetches; S-COMA pays one
+ * allocation. Used to validate EQ 1-3 empirically.
+ *
+ * @param touches_per_page remote fetches to generate per page
+ *        (set to the relocation threshold + 1 to just trip R-NUMA)
+ */
+std::unique_ptr<VectorWorkload>
+makeAdversary(const Params &p, std::size_t pages,
+              std::size_t touches_per_page);
+
+/**
+ * All CPUs hammer read-write blocks on a single shared page homed on
+ * node 0 (lock/counter pattern): read-write sharing that page
+ * migration/replication cannot help (Section 1).
+ */
+std::unique_ptr<VectorWorkload>
+makeRwSharing(const Params &p, std::size_t rounds);
+
+} // namespace rnuma
+
+#endif // RNUMA_WORKLOAD_MICRO_HH

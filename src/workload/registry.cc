@@ -1,0 +1,86 @@
+#include "workload/registry.hh"
+
+#include "common/logging.hh"
+#include "workload/apps/apps.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+struct Entry
+{
+    const char *name;
+    const char *problem;
+    const char *input;
+    std::unique_ptr<VectorWorkload> (*make)(const Params &, double,
+                                            std::uint64_t);
+};
+
+const Entry entries[] = {
+    {"barnes", "Barnes-Hut N-body simulation", "16K particles",
+     &makeBarnes},
+    {"cholesky", "Blocked sparse Cholesky factorization", "tk16.O",
+     &makeCholesky},
+    {"em3d", "3-D electromagnetic wave propagation",
+     "76800 nodes, 15% remote, 5 iters", &makeEm3d},
+    {"fft", "Complex 1-D radix-sqrt(n) six-step FFT", "64K points",
+     &makeFft},
+    {"fmm", "Fast Multipole N-body simulation", "16K particles",
+     &makeFmm},
+    {"lu", "Blocked dense LU factorization",
+     "512x512 matrix, 16x16 blocks", &makeLu},
+    {"moldyn", "Molecular dynamics simulation",
+     "2048 particles, 15 iters", &makeMoldyn},
+    {"ocean", "Ocean simulation", "258x258 ocean", &makeOcean},
+    {"radix", "Integer radix sort", "1M integers, radix 1024",
+     &makeRadix},
+    {"raytrace", "3-D scene rendering using ray-tracing", "car",
+     &makeRaytrace},
+};
+
+const Entry &
+lookup(const std::string &name)
+{
+    for (const Entry &e : entries)
+        if (name == e.name)
+            return e;
+    RNUMA_FATAL("unknown application '", name,
+                "' (see appNames() for the valid set)");
+}
+
+} // namespace
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Entry &e : entries)
+            v.emplace_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+const char *
+appProblem(const std::string &name)
+{
+    return lookup(name).problem;
+}
+
+const char *
+appInput(const std::string &name)
+{
+    return lookup(name).input;
+}
+
+std::unique_ptr<VectorWorkload>
+makeApp(const std::string &name, const Params &p, double scale,
+        std::uint64_t seed)
+{
+    return lookup(name).make(p, scale, seed);
+}
+
+} // namespace rnuma

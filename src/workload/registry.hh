@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Name-indexed registry of the ten application generators (Table 3),
+ * in the paper's order, for the benchmark harnesses.
+ */
+
+#ifndef RNUMA_WORKLOAD_REGISTRY_HH
+#define RNUMA_WORKLOAD_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.hh"
+#include "workload/workload.hh"
+
+namespace rnuma
+{
+
+/** The ten application names in the paper's (alphabetical) order. */
+const std::vector<std::string> &appNames();
+
+/** Table 3 "Problem" description for an application. */
+const char *appProblem(const std::string &name);
+
+/** Table 3 "Input Data Set" description for an application. */
+const char *appInput(const std::string &name);
+
+/**
+ * Build an application workload by name. Fatal on unknown names.
+ * @param scale input scale (1.0 = calibrated size)
+ */
+std::unique_ptr<VectorWorkload>
+makeApp(const std::string &name, const Params &p, double scale = 1.0,
+        std::uint64_t seed = 1);
+
+} // namespace rnuma
+
+#endif // RNUMA_WORKLOAD_REGISTRY_HH

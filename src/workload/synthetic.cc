@@ -1,0 +1,67 @@
+#include "workload/synthetic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+StreamBuilder::StreamBuilder(std::string name, const Params &params,
+                             std::uint64_t seed)
+    : p(params), as(params.pageSize), rng_(seed),
+      wl(std::make_unique<VectorWorkload>(std::move(name),
+                                          params.numCpus()))
+{
+}
+
+void
+StreamBuilder::touch(CpuId cpu, Addr a)
+{
+    wl->push(cpu, Ref::touchOf(a));
+}
+
+void
+StreamBuilder::touchRange(CpuId cpu, Addr base, std::size_t bytes)
+{
+    Addr first = base / p.pageSize;
+    Addr last = (base + bytes - 1) / p.pageSize;
+    for (Addr pg = first; pg <= last; ++pg)
+        touch(cpu, pg * p.pageSize);
+}
+
+void
+StreamBuilder::read(CpuId cpu, Addr a, std::uint32_t think)
+{
+    wl->push(cpu, Ref::mem(a, false, think));
+}
+
+void
+StreamBuilder::write(CpuId cpu, Addr a, std::uint32_t think)
+{
+    wl->push(cpu, Ref::mem(a, true, think));
+}
+
+void
+StreamBuilder::barrier()
+{
+    wl->pushBarrierAll();
+}
+
+std::unique_ptr<VectorWorkload>
+StreamBuilder::finish()
+{
+    RNUMA_ASSERT(wl, "finish() called twice");
+    wl->seal();
+    return std::move(wl);
+}
+
+std::size_t
+scaled(std::size_t v, double scale)
+{
+    double s = static_cast<double>(v) * scale;
+    std::size_t r = static_cast<std::size_t>(std::llround(s));
+    return r == 0 ? 1 : r;
+}
+
+} // namespace rnuma

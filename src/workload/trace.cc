@@ -1,0 +1,116 @@
+#include "workload/trace.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+constexpr std::uint64_t traceMagic = 0x524e554d41545231ULL; // RNUMATR1
+
+struct DiskRef
+{
+    std::uint64_t addr;
+    std::uint32_t think;
+    std::uint8_t kind;
+    std::uint8_t write;
+    std::uint8_t pad[2];
+};
+
+static_assert(sizeof(DiskRef) == 16, "trace record must be 16 bytes");
+
+} // namespace
+
+void
+saveTrace(const VectorWorkload &wl, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        RNUMA_FATAL("cannot open trace file for writing: ", path);
+
+    std::uint64_t magic = traceMagic;
+    std::uint64_t ncpus = wl.numCpus();
+    std::uint64_t name_len = wl.name().size();
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&ncpus), sizeof(ncpus));
+    out.write(reinterpret_cast<const char *>(&name_len),
+              sizeof(name_len));
+    out.write(wl.name().data(),
+              static_cast<std::streamsize>(name_len));
+
+    for (CpuId c = 0; c < ncpus; ++c) {
+        // Strip End markers; loadTrace re-seals.
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < wl.size(c); ++i)
+            if (wl.at(c, i).kind != RefKind::End)
+                count++;
+        out.write(reinterpret_cast<const char *>(&count),
+                  sizeof(count));
+        for (std::size_t i = 0; i < wl.size(c); ++i) {
+            const Ref &r = wl.at(c, i);
+            if (r.kind == RefKind::End)
+                continue;
+            DiskRef d{r.addr, r.think,
+                      static_cast<std::uint8_t>(r.kind),
+                      static_cast<std::uint8_t>(r.write ? 1 : 0),
+                      {0, 0}};
+            out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+        }
+    }
+    if (!out)
+        RNUMA_FATAL("error writing trace file: ", path);
+}
+
+std::unique_ptr<VectorWorkload>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        RNUMA_FATAL("cannot open trace file: ", path);
+
+    std::uint64_t magic = 0;
+    std::uint64_t ncpus = 0;
+    std::uint64_t name_len = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&ncpus), sizeof(ncpus));
+    in.read(reinterpret_cast<char *>(&name_len), sizeof(name_len));
+    if (!in || magic != traceMagic)
+        RNUMA_FATAL("not a trace file: ", path);
+    if (ncpus == 0 || ncpus > 4096 || name_len > 4096)
+        RNUMA_FATAL("implausible trace header in ", path);
+
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+
+    auto wl = std::make_unique<VectorWorkload>(
+        name, static_cast<std::size_t>(ncpus));
+    for (CpuId c = 0; c < ncpus; ++c) {
+        std::uint64_t count = 0;
+        in.read(reinterpret_cast<char *>(&count), sizeof(count));
+        if (!in)
+            RNUMA_FATAL("truncated trace file: ", path);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            DiskRef d{};
+            in.read(reinterpret_cast<char *>(&d), sizeof(d));
+            if (!in)
+                RNUMA_FATAL("truncated trace file: ", path);
+            if (d.kind > static_cast<std::uint8_t>(RefKind::End))
+                RNUMA_FATAL("corrupt trace record in ", path);
+            Ref r;
+            r.addr = d.addr;
+            r.think = d.think;
+            r.kind = static_cast<RefKind>(d.kind);
+            r.write = d.write != 0;
+            wl->push(c, r);
+        }
+    }
+    wl->seal();
+    return wl;
+}
+
+} // namespace rnuma

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Trace record/replay: serialize a VectorWorkload to a compact binary
+ * file and load it back. Useful for regression-testing exact protocol
+ * behavior and for sharing reproducible inputs.
+ */
+
+#ifndef RNUMA_WORKLOAD_TRACE_HH
+#define RNUMA_WORKLOAD_TRACE_HH
+
+#include <memory>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace rnuma
+{
+
+/** Write the workload's streams to @p path. Fatal on I/O error. */
+void saveTrace(const VectorWorkload &wl, const std::string &path);
+
+/** Load a trace written by saveTrace. Fatal on I/O or format error. */
+std::unique_ptr<VectorWorkload> loadTrace(const std::string &path);
+
+} // namespace rnuma
+
+#endif // RNUMA_WORKLOAD_TRACE_HH

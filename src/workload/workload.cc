@@ -1,0 +1,82 @@
+#include "workload/workload.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+const Ref VectorWorkload::endRef = Ref::end();
+
+VectorWorkload::VectorWorkload(std::string name, std::size_t ncpus)
+    : name_(std::move(name)), streams(ncpus), cursor(ncpus, 0)
+{
+    RNUMA_ASSERT(ncpus >= 1, "workload needs at least one CPU");
+}
+
+const Ref &
+VectorWorkload::next(CpuId cpu)
+{
+    RNUMA_ASSERT(cpu < streams.size(), "bad cpu ", cpu);
+    auto &s = streams[cpu];
+    std::size_t &c = cursor[cpu];
+    if (c >= s.size())
+        return endRef;
+    return s[c++];
+}
+
+void
+VectorWorkload::reset()
+{
+    for (auto &c : cursor)
+        c = 0;
+}
+
+void
+VectorWorkload::push(CpuId cpu, Ref r)
+{
+    RNUMA_ASSERT(cpu < streams.size(), "bad cpu ", cpu);
+    RNUMA_ASSERT(!sealed, "cannot push after seal()");
+    streams[cpu].push_back(r);
+}
+
+void
+VectorWorkload::pushBarrierAll()
+{
+    for (CpuId c = 0; c < streams.size(); ++c)
+        push(c, Ref::barrier());
+}
+
+void
+VectorWorkload::seal()
+{
+    RNUMA_ASSERT(!sealed, "seal() called twice");
+    for (auto &s : streams)
+        s.push_back(Ref::end());
+    sealed = true;
+}
+
+std::size_t
+VectorWorkload::size(CpuId cpu) const
+{
+    RNUMA_ASSERT(cpu < streams.size(), "bad cpu ", cpu);
+    return streams[cpu].size();
+}
+
+const Ref &
+VectorWorkload::at(CpuId cpu, std::size_t i) const
+{
+    RNUMA_ASSERT(cpu < streams.size() && i < streams[cpu].size(),
+                 "bad index");
+    return streams[cpu][i];
+}
+
+std::size_t
+VectorWorkload::totalRefs() const
+{
+    std::size_t n = 0;
+    for (const auto &s : streams)
+        n += s.size();
+    return n;
+}
+
+} // namespace rnuma

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The workload abstraction: per-CPU streams of memory references,
+ * barrier markers, placement-only init touches, and end markers. The
+ * simulator is driven entirely by a Workload, which stands in for the
+ * paper's execution-driven SPLASH-2 binaries (see DESIGN.md section 5
+ * for the substitution argument).
+ */
+
+#ifndef RNUMA_WORKLOAD_WORKLOAD_HH
+#define RNUMA_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Kinds of stream entries. */
+enum class RefKind : std::uint8_t
+{
+    Mem,       ///< a load or store
+    Barrier,   ///< global barrier: wait for every CPU
+    InitTouch, ///< pre-parallel first-touch placement marker (free)
+    End        ///< stream exhausted
+};
+
+/** One stream entry. */
+struct Ref
+{
+    Addr addr = 0;            ///< global address (Mem / InitTouch)
+    std::uint32_t think = 0;  ///< compute cycles before the access
+    RefKind kind = RefKind::End;
+    bool write = false;
+
+    static Ref
+    mem(Addr a, bool w, std::uint32_t th)
+    {
+        return Ref{a, th, RefKind::Mem, w};
+    }
+    static Ref barrier() { return Ref{0, 0, RefKind::Barrier, false}; }
+    static Ref touchOf(Addr a) { return Ref{a, 0, RefKind::InitTouch,
+                                            false}; }
+    static Ref end() { return Ref{0, 0, RefKind::End, false}; }
+};
+
+/** Abstract reference-stream source. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Number of CPU streams. */
+    virtual std::size_t numCpus() const = 0;
+
+    /**
+     * Next entry for @p cpu, advancing the stream. Returns an End ref
+     * forever once exhausted.
+     */
+    virtual const Ref &next(CpuId cpu) = 0;
+
+    /** Rewind all streams (for back-to-back protocol comparisons). */
+    virtual void reset() = 0;
+
+    /** Workload name for reports. */
+    virtual const std::string &name() const = 0;
+};
+
+/** A workload backed by pre-generated per-CPU vectors. */
+class VectorWorkload : public Workload
+{
+  public:
+    VectorWorkload(std::string name, std::size_t ncpus);
+
+    std::size_t numCpus() const override { return streams.size(); }
+    const Ref &next(CpuId cpu) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Append an entry to one CPU's stream. */
+    void push(CpuId cpu, Ref r);
+
+    /** Append a barrier to every CPU's stream. */
+    void pushBarrierAll();
+
+    /** Append End markers to every stream (call once, when done). */
+    void seal();
+
+    /** Stream length for a CPU (including the End marker). */
+    std::size_t size(CpuId cpu) const;
+
+    /** Entry inspection for tests and trace serialization. */
+    const Ref &at(CpuId cpu, std::size_t i) const;
+
+    /** Total entries across all CPUs. */
+    std::size_t totalRefs() const;
+
+  private:
+    std::string name_;
+    std::vector<std::vector<Ref>> streams;
+    std::vector<std::size_t> cursor;
+    bool sealed = false;
+
+    static const Ref endRef;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit and property tests for the Section 3.2 competitive model
+ * (EQ 1-3 and Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_model.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+ModelParams
+simple(double refetch, double allocate, double relocate)
+{
+    ModelParams mp;
+    mp.cRefetch = refetch;
+    mp.cAllocate = allocate;
+    mp.cRelocate = relocate;
+    return mp;
+}
+
+} // namespace
+
+TEST(AnalyticModel, OverheadsMatchDefinitions)
+{
+    AnalyticModel m(simple(100, 1000, 500));
+    EXPECT_DOUBLE_EQ(m.overheadCCNuma(10), 1000.0);
+    EXPECT_DOUBLE_EQ(m.overheadSComa(), 1000.0);
+    EXPECT_DOUBLE_EQ(m.overheadRNuma(10), 1000.0 + 500 + 1000);
+}
+
+TEST(AnalyticModel, Eq1WorstVsCCNuma)
+{
+    AnalyticModel m(simple(100, 1000, 500));
+    // (T*Cr + Crel + Call) / (T*Cr) at T=10: 2500/1000.
+    EXPECT_DOUBLE_EQ(m.worstVsCCNuma(10), 2.5);
+}
+
+TEST(AnalyticModel, Eq2WorstVsSComa)
+{
+    AnalyticModel m(simple(100, 1000, 500));
+    EXPECT_DOUBLE_EQ(m.worstVsSComa(10), 2.5);
+}
+
+TEST(AnalyticModel, Eq3OptimalThresholdEqualizesTheRatios)
+{
+    AnalyticModel m(simple(100, 1000, 500));
+    double T = m.optimalThreshold();
+    EXPECT_DOUBLE_EQ(T, 10.0); // C_allocate / C_refetch
+    EXPECT_NEAR(m.worstVsCCNuma(T), m.worstVsSComa(T), 1e-12);
+    EXPECT_NEAR(m.worstVsCCNuma(T), m.boundAtOptimal(), 1e-12);
+}
+
+TEST(AnalyticModel, BoundIsTwoForFreeRelocation)
+{
+    // "In a high-performance implementation ... the worst-case
+    // performance bound will be close to 2."
+    AnalyticModel m(simple(100, 1000, 0));
+    EXPECT_DOUBLE_EQ(m.boundAtOptimal(), 2.0);
+}
+
+TEST(AnalyticModel, BoundIsThreeWhenRelocationEqualsAllocation)
+{
+    // "In a less aggressive implementation ... close to 3."
+    AnalyticModel m(simple(100, 1000, 1000));
+    EXPECT_DOUBLE_EQ(m.boundAtOptimal(), 3.0);
+}
+
+TEST(AnalyticModel, FromSystemUsesTable2Costs)
+{
+    Params p = Params::base();
+    ModelParams mp = ModelParams::fromSystem(p, 64);
+    EXPECT_DOUBLE_EQ(mp.cRefetch, 376.0);
+    EXPECT_DOUBLE_EQ(mp.cAllocate,
+                     static_cast<double>(p.pageOpCost(64)));
+    AnalyticModel m(mp);
+    // Relocation == allocation in this model, so the bound is 3.
+    EXPECT_DOUBLE_EQ(m.boundAtOptimal(), 3.0);
+    // The paper's intersection threshold for the base system is
+    // C_allocate / C_refetch, around 19 blocks-flushed=64.
+    EXPECT_NEAR(m.optimalThreshold(),
+                static_cast<double>(p.pageOpCost(64)) / 376.0, 1e-9);
+}
+
+/**
+ * Property sweep (EQ 1-3): the optimal threshold minimizes the max
+ * of the two worst-case ratios over a wide grid of cost regimes.
+ */
+class ModelSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(ModelSweep, OptimalThresholdMinimizesWorstCase)
+{
+    auto [cr, ca, crel] = GetParam();
+    AnalyticModel m(simple(cr, ca, crel));
+    double T = m.optimalThreshold();
+    double at_opt = std::max(m.worstVsCCNuma(T), m.worstVsSComa(T));
+    for (double f : {0.25, 0.5, 2.0, 4.0}) {
+        double other =
+            std::max(m.worstVsCCNuma(T * f), m.worstVsSComa(T * f));
+        EXPECT_GE(other + 1e-9, at_opt)
+            << "T*" << f << " beat the optimum";
+    }
+    // The bound is always in [2, 3] when relocation <= allocation.
+    if (crel <= ca) {
+        EXPECT_GE(m.boundAtOptimal(), 2.0);
+        EXPECT_LE(m.boundAtOptimal(), 3.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostRegimes, ModelSweep,
+    ::testing::Values(std::make_tuple(376.0, 3000.0, 3000.0),
+                      std::make_tuple(376.0, 11500.0, 3000.0),
+                      std::make_tuple(100.0, 10000.0, 1000.0),
+                      std::make_tuple(1000.0, 3000.0, 0.0),
+                      std::make_tuple(50.0, 50000.0, 25000.0)));
+
+} // namespace rnuma

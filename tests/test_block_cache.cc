@@ -1,0 +1,70 @@
+/** @file Unit tests for the RAD block cache. */
+
+#include <gtest/gtest.h>
+
+#include "common/params.hh"
+#include "rad/block_cache.hh"
+
+namespace rnuma
+{
+
+TEST(BlockCache, FiniteGeometryFromParams)
+{
+    Params p = Params::base();
+    BlockCache bc(p.blockCacheSize, p, false);
+    EXPECT_FALSE(bc.infinite());
+    EXPECT_EQ(bc.validCount(), 0u);
+}
+
+TEST(BlockCache, TinyRnumaCacheHoldsFourBlocks)
+{
+    Params p = Params::base();
+    BlockCache bc(p.rnumaBlockCacheSize, p, false);
+    Cache::Victim v;
+    // 128 bytes / 32-byte blocks = 4 frames.
+    for (Addr a = 0; a < 4 * 32; a += 32) {
+        bc.allocate(a, v)->state = CacheState::Shared;
+        ASSERT_FALSE(v.valid);
+    }
+    bc.allocate(4 * 32, v);
+    EXPECT_TRUE(v.valid);
+}
+
+TEST(BlockCache, OwnsBlockOnlyWhenModified)
+{
+    Params p = Params::base();
+    BlockCache bc(p.blockCacheSize, p, false);
+    Cache::Victim v;
+    bc.allocate(0x100, v)->state = CacheState::Shared;
+    EXPECT_FALSE(bc.ownsBlock(0x100));
+    bc.find(0x100)->state = CacheState::Modified;
+    EXPECT_TRUE(bc.ownsBlock(0x100));
+    EXPECT_FALSE(bc.ownsBlock(0x200));
+}
+
+TEST(BlockCache, DowngradeClearsOwnership)
+{
+    Params p = Params::base();
+    BlockCache bc(p.blockCacheSize, p, false);
+    Cache::Victim v;
+    bc.allocate(0x100, v)->state = CacheState::Modified;
+    bc.downgrade(0x100);
+    EXPECT_FALSE(bc.ownsBlock(0x100));
+    EXPECT_NE(bc.find(0x100), nullptr);
+}
+
+TEST(BlockCache, InfiniteModeForBaseline)
+{
+    Params p = Params::base();
+    p.infiniteBlockCache = true;
+    BlockCache bc(p.blockCacheSize, p, true);
+    EXPECT_TRUE(bc.infinite());
+    Cache::Victim v;
+    for (Addr a = 0; a < 32 * 5000; a += 32) {
+        bc.allocate(a, v)->state = CacheState::Shared;
+        ASSERT_FALSE(v.valid);
+    }
+    EXPECT_EQ(bc.validCount(), 5000u);
+}
+
+} // namespace rnuma

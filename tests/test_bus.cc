@@ -1,0 +1,54 @@
+/** @file Unit tests for the bus / shared-resource contention model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+namespace rnuma
+{
+
+TEST(Resource, UncontendedGrantIsImmediate)
+{
+    Resource r(16);
+    EXPECT_EQ(r.acquire(100), 100u);
+    EXPECT_EQ(r.waited(), 0u);
+}
+
+TEST(Resource, BackToBackRequestsQueue)
+{
+    Resource r(16);
+    EXPECT_EQ(r.acquire(100), 100u);
+    // Second request at the same instant waits out the occupancy.
+    EXPECT_EQ(r.acquire(100), 116u);
+    EXPECT_EQ(r.waited(), 16u);
+}
+
+TEST(Resource, LateRequestDoesNotWait)
+{
+    Resource r(16);
+    r.acquire(0);
+    EXPECT_EQ(r.acquire(1000), 1000u);
+    EXPECT_EQ(r.waited(), 0u);
+}
+
+TEST(Resource, QueueBuildsLinearly)
+{
+    Resource r(10);
+    for (int i = 0; i < 5; ++i)
+        r.acquire(0);
+    // Requests granted at 0, 10, 20, 30, 40 -> total wait 100.
+    EXPECT_EQ(r.waited(), 0u + 10u + 20u + 30u + 40u);
+    EXPECT_EQ(r.useCount(), 5u);
+    EXPECT_EQ(r.freeAt(), 50u);
+}
+
+TEST(Bus, TransactionsCountAndWait)
+{
+    Bus bus(16);
+    bus.acquire(0);
+    bus.acquire(0);
+    EXPECT_EQ(bus.transactions(), 2u);
+    EXPECT_EQ(bus.waited(), 16u);
+}
+
+} // namespace rnuma

@@ -1,0 +1,197 @@
+/** @file Unit tests for the generic set-associative MOESI cache. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/cache.hh"
+
+namespace rnuma
+{
+
+TEST(CacheState, DirtyAndValidPredicates)
+{
+    EXPECT_TRUE(isDirty(CacheState::Modified));
+    EXPECT_TRUE(isDirty(CacheState::Owned));
+    EXPECT_FALSE(isDirty(CacheState::Shared));
+    EXPECT_FALSE(isDirty(CacheState::Exclusive));
+    EXPECT_FALSE(isDirty(CacheState::Invalid));
+    EXPECT_TRUE(isValid(CacheState::Shared));
+    EXPECT_FALSE(isValid(CacheState::Invalid));
+}
+
+TEST(Cache, MissOnEmpty)
+{
+    Cache c(1024, 32, 1);
+    EXPECT_EQ(c.find(0x100), nullptr);
+    EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(Cache, AllocateThenFind)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    CacheLine *line = c.allocate(0x100, v);
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(v.valid);
+    line->state = CacheState::Shared;
+    CacheLine *found = c.find(0x100);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, line);
+}
+
+TEST(Cache, BlockAlignmentOnProbe)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    c.allocate(0x100, v)->state = CacheState::Shared;
+    // Any address within the block finds the line.
+    EXPECT_NE(c.find(0x100 + 31), nullptr);
+    EXPECT_EQ(c.find(0x100 + 32), nullptr);
+}
+
+TEST(Cache, DirectMappedConflictEvicts)
+{
+    // 1 KB direct-mapped, 32 B blocks: 32 sets. Addresses 0 and 1024
+    // map to the same set.
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    c.allocate(0, v)->state = CacheState::Modified;
+    c.allocate(1024, v)->state = CacheState::Shared;
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 0u);
+    EXPECT_EQ(v.state, CacheState::Modified);
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_NE(c.find(1024), nullptr);
+}
+
+TEST(Cache, TwoWayAvoidsSimpleConflict)
+{
+    Cache c(1024, 32, 2);
+    Cache::Victim v;
+    c.allocate(0, v)->state = CacheState::Shared;
+    c.allocate(1024, v)->state = CacheState::Shared;
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(c.find(0), nullptr);
+    EXPECT_NE(c.find(1024), nullptr);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way set: fill both ways, touch the first, insert a third; the
+    // untouched second way is the victim.
+    Cache c(2 * 32, 32, 2); // one set, two ways
+    Cache::Victim v;
+    CacheLine *a = c.allocate(0, v);
+    a->state = CacheState::Shared;
+    CacheLine *b = c.allocate(32, v);
+    b->state = CacheState::Shared;
+    c.touch(a);
+    c.allocate(64, v);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 32u);
+    EXPECT_NE(c.find(0), nullptr);
+}
+
+TEST(Cache, InvalidateReturnsPriorState)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    c.allocate(0x40, v)->state = CacheState::Owned;
+    EXPECT_EQ(c.invalidate(0x40), CacheState::Owned);
+    EXPECT_EQ(c.invalidate(0x40), CacheState::Invalid);
+    EXPECT_EQ(c.find(0x40), nullptr);
+}
+
+TEST(Cache, DowngradeDirtyAndClean)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    c.allocate(0, v)->state = CacheState::Modified;
+    c.downgrade(0);
+    EXPECT_EQ(c.find(0)->state, CacheState::Owned);
+    c.invalidate(0);
+    c.allocate(0, v)->state = CacheState::Exclusive;
+    c.downgrade(0);
+    EXPECT_EQ(c.find(0)->state, CacheState::Shared);
+}
+
+TEST(Cache, InfiniteModeNeverEvicts)
+{
+    Cache c(0, 32, 1, /*infinite=*/true);
+    Cache::Victim v;
+    for (Addr a = 0; a < 32 * 10000; a += 32) {
+        c.allocate(a, v)->state = CacheState::Shared;
+        ASSERT_FALSE(v.valid);
+    }
+    EXPECT_EQ(c.validCount(), 10000u);
+    EXPECT_NE(c.find(32 * 1234), nullptr);
+}
+
+TEST(Cache, InfiniteModeInvalidateErases)
+{
+    Cache c(0, 32, 1, true);
+    Cache::Victim v;
+    c.allocate(64, v)->state = CacheState::Modified;
+    EXPECT_EQ(c.invalidate(64), CacheState::Modified);
+    EXPECT_EQ(c.find(64), nullptr);
+    EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(Cache, DoubleAllocatePanics)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    c.allocate(0, v)->state = CacheState::Shared;
+    EXPECT_THROW(c.allocate(0, v), std::logic_error);
+}
+
+TEST(Cache, ForEachValidVisitsAll)
+{
+    Cache c(1024, 32, 1);
+    Cache::Victim v;
+    for (Addr a = 0; a < 5 * 32; a += 32)
+        c.allocate(a, v)->state = CacheState::Shared;
+    std::size_t n = 0;
+    c.forEachValid([&](const CacheLine &) { ++n; });
+    EXPECT_EQ(n, 5u);
+}
+
+/** Parameterized sweep: geometry invariants across configurations. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometry, FillToCapacityWithoutPhantomEvictions)
+{
+    auto [size_kb, block, assoc] = GetParam();
+    std::size_t size = static_cast<std::size_t>(size_kb) * 1024;
+    Cache c(size, static_cast<std::size_t>(block),
+            static_cast<std::size_t>(assoc));
+    std::size_t capacity = size / static_cast<std::size_t>(block);
+    Cache::Victim v;
+    // Sequential fill exactly to capacity must not evict anything.
+    for (std::size_t i = 0; i < capacity; ++i) {
+        c.allocate(static_cast<Addr>(i) * block, v)->state =
+            CacheState::Shared;
+        ASSERT_FALSE(v.valid) << "eviction at line " << i;
+    }
+    EXPECT_EQ(c.validCount(), capacity);
+    // One more forces exactly one eviction.
+    c.allocate(static_cast<Addr>(capacity) * block, v)->state =
+        CacheState::Shared;
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(c.validCount(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1, 32, 1),
+                      std::make_tuple(8, 32, 1),
+                      std::make_tuple(8, 64, 2),
+                      std::make_tuple(32, 32, 1),
+                      std::make_tuple(4, 32, 4),
+                      std::make_tuple(16, 128, 8)));
+
+} // namespace rnuma

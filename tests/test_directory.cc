@@ -1,0 +1,47 @@
+/** @file Unit tests for directory entries and storage. */
+
+#include <gtest/gtest.h>
+
+#include "proto/directory.hh"
+
+namespace rnuma
+{
+
+TEST(Directory, PeekMissingIsNull)
+{
+    Directory d;
+    EXPECT_EQ(d.peek(0x1000), nullptr);
+    EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(Directory, EntryCreatesAndPersists)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x1000);
+    e.sharers.set(3);
+    EXPECT_EQ(d.size(), 1u);
+    const DirEntry *p = d.peek(0x1000);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->sharers.test(3));
+}
+
+TEST(DirEntry, DefaultsAreClean)
+{
+    DirEntry e;
+    EXPECT_FALSE(e.hasOwner());
+    EXPECT_EQ(e.sharerCount(), 0u);
+    EXPECT_TRUE(e.prior.none());
+    EXPECT_TRUE(e.touched.none());
+}
+
+TEST(DirEntry, OwnerAndSharerCounts)
+{
+    DirEntry e;
+    e.owner = 2;
+    e.sharers.set(2);
+    e.sharers.set(5);
+    EXPECT_TRUE(e.hasOwner());
+    EXPECT_EQ(e.sharerCount(), 2u);
+}
+
+} // namespace rnuma

@@ -1,0 +1,75 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/event_queue.hh"
+
+namespace rnuma
+{
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    q.schedule(30, 3);
+    q.schedule(10, 1);
+    q.schedule(20, 2);
+    EXPECT_EQ(q.pop().tag, 1u);
+    EXPECT_EQ(q.pop().tag, 2u);
+    EXPECT_EQ(q.pop().tag, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    q.schedule(5, 7);
+    q.schedule(5, 8);
+    q.schedule(5, 9);
+    EXPECT_EQ(q.pop().tag, 7u);
+    EXPECT_EQ(q.pop().tag, 8u);
+    EXPECT_EQ(q.pop().tag, 9u);
+}
+
+TEST(EventQueue, PeekTime)
+{
+    EventQueue q;
+    q.schedule(42, 0);
+    q.schedule(7, 1);
+    EXPECT_EQ(q.peekTime(), 7u);
+    q.pop();
+    EXPECT_EQ(q.peekTime(), 42u);
+}
+
+TEST(EventQueue, ProcessedAndPendingCounters)
+{
+    EventQueue q;
+    q.schedule(1, 0);
+    q.schedule(2, 0);
+    EXPECT_EQ(q.pending(), 2u);
+    q.pop();
+    EXPECT_EQ(q.processed(), 1u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, PopEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop)
+{
+    EventQueue q;
+    q.schedule(10, 1);
+    Event e = q.pop();
+    // Scheduling an earlier event after popping is fine; the queue
+    // orders whatever is pending.
+    q.schedule(e.when + 5, 2);
+    q.schedule(e.when + 1, 3);
+    EXPECT_EQ(q.pop().tag, 3u);
+    EXPECT_EQ(q.pop().tag, 2u);
+}
+
+} // namespace rnuma

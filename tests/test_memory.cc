@@ -1,0 +1,48 @@
+/** @file Unit tests for the interleaved memory model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace rnuma
+{
+
+TEST(Memory, UncontendedAccessIsDramLatency)
+{
+    Memory m(56, 32, 4);
+    EXPECT_EQ(m.access(100, 0x0), 156u);
+}
+
+TEST(Memory, SameBankSerializes)
+{
+    Memory m(56, 32, 4);
+    EXPECT_EQ(m.access(0, 0x0), 56u);
+    // Same block -> same bank -> queued behind the first access.
+    EXPECT_EQ(m.access(0, 0x0), 112u);
+    EXPECT_EQ(m.waited(), 56u);
+}
+
+TEST(Memory, DifferentBanksOverlap)
+{
+    Memory m(56, 32, 4);
+    EXPECT_EQ(m.access(0, 0 * 32), 56u);
+    EXPECT_EQ(m.access(0, 1 * 32), 56u);
+    EXPECT_EQ(m.access(0, 2 * 32), 56u);
+    EXPECT_EQ(m.access(0, 3 * 32), 56u);
+    EXPECT_EQ(m.waited(), 0u);
+    // Fifth access wraps to bank 0 and queues.
+    EXPECT_EQ(m.access(0, 4 * 32), 112u);
+}
+
+TEST(Memory, BankSelectionByBlock)
+{
+    Memory m(10, 32, 2);
+    EXPECT_EQ(m.access(0, 0), 10u);  // bank 0
+    // 64/32 = 2 -> bank 0 again: queued behind the first access.
+    EXPECT_EQ(m.access(0, 64), 20u);
+    EXPECT_EQ(m.waited(), 10u);
+    // 32/32 = 1 -> bank 1: independent.
+    EXPECT_EQ(m.access(0, 32), 10u);
+}
+
+} // namespace rnuma

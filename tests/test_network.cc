@@ -1,0 +1,55 @@
+/** @file Unit tests for the point-to-point network model. */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+
+namespace rnuma
+{
+
+TEST(Network, LocalSendIsFree)
+{
+    Network n(4, 100, 20);
+    EXPECT_EQ(n.send(50, 2, 2, MsgKind::Request), 50u);
+    EXPECT_EQ(n.waited(), 0u);
+}
+
+TEST(Network, UncontendedSendIsNiPlusWire)
+{
+    Network n(4, 100, 20);
+    // Source NI occupancy (20) + wire (100).
+    EXPECT_EQ(n.send(0, 0, 1, MsgKind::Request), 120u);
+}
+
+TEST(Network, SourceNiSerializesOutgoing)
+{
+    Network n(4, 100, 20);
+    EXPECT_EQ(n.send(0, 0, 1, MsgKind::Request), 120u);
+    EXPECT_EQ(n.send(0, 0, 2, MsgKind::Request), 140u);
+    EXPECT_GT(n.waited(), 0u);
+}
+
+TEST(Network, MessageCountsByKind)
+{
+    Network n(4, 100, 20);
+    n.send(0, 0, 1, MsgKind::Request);
+    n.send(0, 1, 0, MsgKind::Reply);
+    n.post(0, 0, 2, MsgKind::Writeback);
+    n.post(0, 0, 2, MsgKind::Invalidate);
+    EXPECT_EQ(n.count(MsgKind::Request), 1u);
+    EXPECT_EQ(n.count(MsgKind::Reply), 1u);
+    EXPECT_EQ(n.count(MsgKind::Writeback), 1u);
+    EXPECT_EQ(n.count(MsgKind::Invalidate), 1u);
+    EXPECT_EQ(n.count(MsgKind::Flush), 0u);
+    EXPECT_EQ(n.totalMessages(), 4u);
+}
+
+TEST(Network, PostChargesNiWithoutReturningLatency)
+{
+    Network n(2, 100, 20);
+    n.post(0, 0, 1, MsgKind::Writeback);
+    // The NI is now busy; a send right after queues behind it.
+    EXPECT_EQ(n.send(0, 0, 1, MsgKind::Request), 140u);
+}
+
+} // namespace rnuma

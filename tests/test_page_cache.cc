@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the S-COMA page cache: translation, fine-grain tags,
+ * and the Least-Recently-Missed replacement policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "rad/page_cache.hh"
+
+namespace rnuma
+{
+
+TEST(PageCache, InsertAndContains)
+{
+    PageCache pc(4, 16);
+    EXPECT_FALSE(pc.contains(10));
+    pc.insert(10);
+    EXPECT_TRUE(pc.contains(10));
+    EXPECT_EQ(pc.used(), 1u);
+    EXPECT_EQ(pc.frames(), 4u);
+    EXPECT_FALSE(pc.full());
+}
+
+TEST(PageCache, TagsStartInvalid)
+{
+    PageCache pc(4, 16);
+    pc.insert(1);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(pc.tag(1, i), FineTag::Invalid);
+    EXPECT_EQ(pc.validBlocks(1), 0u);
+}
+
+TEST(PageCache, SetAndCountTags)
+{
+    PageCache pc(4, 16);
+    pc.insert(1);
+    pc.setTag(1, 0, FineTag::ReadOnly);
+    pc.setTag(1, 5, FineTag::ReadWrite);
+    EXPECT_EQ(pc.tag(1, 0), FineTag::ReadOnly);
+    EXPECT_EQ(pc.tag(1, 5), FineTag::ReadWrite);
+    EXPECT_EQ(pc.validBlocks(1), 2u);
+}
+
+TEST(PageCache, EraseClearsEverything)
+{
+    PageCache pc(2, 8);
+    pc.insert(1);
+    pc.setTag(1, 3, FineTag::ReadWrite);
+    pc.erase(1);
+    EXPECT_FALSE(pc.contains(1));
+    // Re-inserting gives fresh invalid tags.
+    pc.insert(1);
+    EXPECT_EQ(pc.validBlocks(1), 0u);
+}
+
+TEST(PageCache, LrmVictimIsLeastRecentlyMissed)
+{
+    PageCache pc(3, 8);
+    pc.insert(1);
+    pc.insert(2);
+    pc.insert(3);
+    EXPECT_TRUE(pc.full());
+    // Miss on 1: it moves to the most-recently-missed end.
+    pc.recordMiss(1);
+    EXPECT_EQ(pc.lrmVictim(), 2u);
+    pc.recordMiss(2);
+    EXPECT_EQ(pc.lrmVictim(), 3u);
+}
+
+TEST(PageCache, LrmReordersOnMissesOnlyNotHits)
+{
+    // The paper's policy reorders on remote misses, not on every
+    // reference — tag reads (hits) do not touch the list.
+    PageCache pc(2, 8);
+    pc.insert(1);
+    pc.insert(2);
+    pc.setTag(1, 0, FineTag::ReadOnly);
+    // "Hits" on page 1 (tag queries) change nothing.
+    for (int i = 0; i < 10; ++i)
+        (void)pc.tag(1, 0);
+    EXPECT_EQ(pc.lrmVictim(), 1u);
+    pc.recordMiss(1);
+    EXPECT_EQ(pc.lrmVictim(), 2u);
+}
+
+TEST(PageCache, ForEachValidVisitsTaggedBlocks)
+{
+    PageCache pc(2, 8);
+    pc.insert(7);
+    pc.setTag(7, 1, FineTag::ReadOnly);
+    pc.setTag(7, 4, FineTag::ReadWrite);
+    std::vector<std::pair<std::size_t, FineTag>> seen;
+    pc.forEachValid(7, [&](std::size_t i, FineTag t) {
+        seen.emplace_back(i, t);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, 1u);
+    EXPECT_EQ(seen[0].second, FineTag::ReadOnly);
+    EXPECT_EQ(seen[1].first, 4u);
+    EXPECT_EQ(seen[1].second, FineTag::ReadWrite);
+}
+
+TEST(PageCache, MisuseIsDetected)
+{
+    PageCache pc(1, 4);
+    pc.insert(1);
+    EXPECT_THROW(pc.insert(1), std::logic_error);  // duplicate
+    EXPECT_THROW(pc.insert(2), std::logic_error);  // full
+    EXPECT_THROW(pc.erase(3), std::logic_error);   // absent
+    EXPECT_THROW(pc.tag(2, 0), std::logic_error);  // absent
+    EXPECT_THROW(pc.tag(1, 99), std::logic_error); // bad index
+}
+
+TEST(PageCache, VictimFromEmptyPanics)
+{
+    PageCache pc(2, 4);
+    EXPECT_THROW(pc.lrmVictim(), std::logic_error);
+}
+
+} // namespace rnuma

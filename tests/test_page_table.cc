@@ -1,0 +1,50 @@
+/** @file Unit tests for the per-node page table. */
+
+#include <gtest/gtest.h>
+
+#include "os/page_table.hh"
+
+namespace rnuma
+{
+
+TEST(PageTable, DefaultIsUnmapped)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.modeOf(0), PageMode::Unmapped);
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(PageTable, SetAndChangeMode)
+{
+    PageTable pt;
+    pt.set(4, PageMode::CCNuma);
+    EXPECT_EQ(pt.modeOf(4), PageMode::CCNuma);
+    // R-NUMA relocation changes the mapping in place.
+    pt.set(4, PageMode::SComa);
+    EXPECT_EQ(pt.modeOf(4), PageMode::SComa);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTable, UnmapRevertsToUnmapped)
+{
+    PageTable pt;
+    pt.set(9, PageMode::SComa);
+    pt.unmap(9);
+    EXPECT_EQ(pt.modeOf(9), PageMode::Unmapped);
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(PageTable, CountMode)
+{
+    PageTable pt;
+    pt.set(1, PageMode::CCNuma);
+    pt.set(2, PageMode::CCNuma);
+    pt.set(3, PageMode::SComa);
+    pt.set(4, PageMode::Local);
+    EXPECT_EQ(pt.countMode(PageMode::CCNuma), 2u);
+    EXPECT_EQ(pt.countMode(PageMode::SComa), 1u);
+    EXPECT_EQ(pt.countMode(PageMode::Local), 1u);
+    EXPECT_EQ(pt.countMode(PageMode::Unmapped), 0u);
+}
+
+} // namespace rnuma

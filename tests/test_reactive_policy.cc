@@ -1,0 +1,72 @@
+/** @file Unit tests for the reactive relocation policy (Section 3.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/reactive_policy.hh"
+
+namespace rnuma
+{
+
+TEST(ReactivePolicy, FiresExactlyAtThreshold)
+{
+    ReactivePolicy rp(4);
+    EXPECT_FALSE(rp.recordRefetch(1)); // 1
+    EXPECT_FALSE(rp.recordRefetch(1)); // 2
+    EXPECT_FALSE(rp.recordRefetch(1)); // 3
+    EXPECT_TRUE(rp.recordRefetch(1));  // 4 -> interrupt
+}
+
+TEST(ReactivePolicy, CounterResetsAfterFiring)
+{
+    ReactivePolicy rp(2);
+    rp.recordRefetch(1);
+    EXPECT_TRUE(rp.recordRefetch(1));
+    EXPECT_EQ(rp.count(1), 0u);
+    EXPECT_FALSE(rp.recordRefetch(1)); // counting starts over
+}
+
+TEST(ReactivePolicy, PagesAreIndependent)
+{
+    ReactivePolicy rp(3);
+    rp.recordRefetch(1);
+    rp.recordRefetch(1);
+    rp.recordRefetch(2);
+    EXPECT_EQ(rp.count(1), 2u);
+    EXPECT_EQ(rp.count(2), 1u);
+    EXPECT_EQ(rp.trackedPages(), 2u);
+}
+
+TEST(ReactivePolicy, ResetClearsACounter)
+{
+    ReactivePolicy rp(10);
+    rp.recordRefetch(5);
+    rp.recordRefetch(5);
+    rp.reset(5);
+    EXPECT_EQ(rp.count(5), 0u);
+    EXPECT_EQ(rp.trackedPages(), 0u);
+}
+
+TEST(ReactivePolicy, ThresholdOneFiresImmediately)
+{
+    ReactivePolicy rp(1);
+    EXPECT_TRUE(rp.recordRefetch(9));
+}
+
+/** Parameterized: the policy fires after exactly T refetches. */
+class ThresholdSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ThresholdSweep, FiresAfterExactlyT)
+{
+    std::size_t T = GetParam();
+    ReactivePolicy rp(T);
+    for (std::size_t i = 1; i < T; ++i)
+        ASSERT_FALSE(rp.recordRefetch(3)) << "fired early at " << i;
+    EXPECT_TRUE(rp.recordRefetch(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperThresholds, ThresholdSweep,
+                         ::testing::Values(1, 16, 64, 256, 1024));
+
+} // namespace rnuma

@@ -1,0 +1,51 @@
+/** @file Tests for the comparison runner. */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workload/micro.hh"
+
+#include "test_util.hh"
+
+namespace rnuma
+{
+
+TEST(Runner, BaselineUsesInfiniteBlockCache)
+{
+    Params p = test::smallParams();
+    auto wl = makeHotRemoteReuse(p, 8, 3);
+    RunStats base = runInfiniteBaseline(p, *wl);
+    EXPECT_EQ(base.refetches, 0u);
+}
+
+TEST(Runner, CompareRunsAllFourConfigurations)
+{
+    Params p = test::smallParams();
+    auto wl = makeHotRemoteReuse(p, 4, 3);
+    ProtocolComparison c = compareProtocols(p, *wl);
+    EXPECT_GT(c.baseline.ticks, 0u);
+    EXPECT_GT(c.ccNuma.ticks, 0u);
+    EXPECT_GT(c.sComa.ticks, 0u);
+    EXPECT_GT(c.rNuma.ticks, 0u);
+    // Normalized values are relative to the infinite baseline.
+    EXPECT_NEAR(c.normCC(),
+                static_cast<double>(c.ccNuma.ticks) /
+                    static_cast<double>(c.baseline.ticks),
+                1e-12);
+    EXPECT_LE(c.bestOfBase(), c.normCC());
+    EXPECT_LE(c.bestOfBase(), c.normSC());
+}
+
+TEST(Runner, ResetsWorkloadBetweenRuns)
+{
+    Params p = test::smallParams();
+    auto wl = makePrivateLoop(p, 1, 2);
+    RunStats a = runProtocol(p, Protocol::CCNuma, *wl);
+    // Without the reset inside runProtocol the second run would see
+    // exhausted streams and do nothing.
+    RunStats b = runProtocol(p, Protocol::CCNuma, *wl);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_GT(b.refs, 0u);
+}
+
+} // namespace rnuma

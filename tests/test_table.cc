@@ -1,0 +1,46 @@
+/** @file Unit tests for the text-table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.hh"
+
+namespace rnuma
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Separator rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(0.5, 3), "0.500");
+}
+
+TEST(Table, PctFormatsFraction)
+{
+    EXPECT_EQ(Table::pct(0.5), "50%");
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+} // namespace rnuma

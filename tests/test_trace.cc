@@ -1,0 +1,84 @@
+/** @file Round-trip tests for trace record/replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/micro.hh"
+#include "workload/trace.hh"
+
+#include "test_util.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+} // namespace
+
+TEST(Trace, RoundTripPreservesEveryEntry)
+{
+    Params p = test::smallParams();
+    auto wl = makeProducerConsumer(p, 2, 2);
+    std::string path = tempPath("pc.trace");
+    saveTrace(*wl, path);
+    auto loaded = loadTrace(path);
+
+    EXPECT_EQ(loaded->name(), wl->name());
+    ASSERT_EQ(loaded->numCpus(), wl->numCpus());
+    for (CpuId c = 0; c < wl->numCpus(); ++c) {
+        ASSERT_EQ(loaded->size(c), wl->size(c)) << "cpu " << c;
+        for (std::size_t i = 0; i < wl->size(c); ++i) {
+            const Ref &a = wl->at(c, i);
+            const Ref &b = loaded->at(c, i);
+            ASSERT_EQ(a.kind, b.kind);
+            ASSERT_EQ(a.addr, b.addr);
+            ASSERT_EQ(a.write, b.write);
+            ASSERT_EQ(a.think, b.think);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadedTraceIsSealedAndIterable)
+{
+    Params p = test::smallParams();
+    auto wl = makeRwSharing(p, 3);
+    std::string path = tempPath("rw.trace");
+    saveTrace(*wl, path);
+    auto loaded = loadTrace(path);
+    // Iterating past the end returns End forever (seal applied).
+    CpuId c = 0;
+    for (std::size_t i = 0; i < loaded->size(c) + 5; ++i)
+        (void)loaded->next(c);
+    EXPECT_EQ(loaded->next(c).kind, RefKind::End);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/definitely/missing.trace"),
+                 std::runtime_error);
+}
+
+TEST(Trace, CorruptMagicIsFatal)
+{
+    std::string path = tempPath("bad.trace");
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "not a trace file at all";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+} // namespace rnuma

@@ -1,0 +1,58 @@
+/** @file Unit tests for the OS virtual-memory cost model. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "os/vm.hh"
+
+namespace rnuma
+{
+
+TEST(Vm, MapFaultChargesSoftTrap)
+{
+    Params p = Params::base();
+    RunStats s;
+    VmManager vm(p, 0, s);
+    EXPECT_EQ(vm.chargeMapFault(1000), 1000 + p.softTrap);
+    EXPECT_EQ(s.pageFaults, 1u);
+    EXPECT_EQ(s.osCycles, p.softTrap);
+}
+
+TEST(Vm, AllocationCostScalesWithFlushedBlocks)
+{
+    Params p = Params::base();
+    RunStats s;
+    VmManager vm(p, 0, s);
+    Tick empty = vm.chargeAllocation(0, 0);
+    Tick full = vm.chargeAllocation(0, p.blocksPerPage());
+    EXPECT_EQ(empty, p.pageOpCost(0));
+    EXPECT_EQ(full, p.pageOpCost(p.blocksPerPage()));
+    EXPECT_GT(full, empty);
+    EXPECT_EQ(s.osCycles, empty + full);
+}
+
+TEST(Vm, RelocationUsesSameMechanismAsAllocation)
+{
+    // "Page relocation uses similar mechanisms as page
+    // allocation/replacement and incurs the same overheads"
+    // (Section 4).
+    Params p = Params::base();
+    RunStats s;
+    VmManager vm(p, 2, s);
+    EXPECT_EQ(vm.chargeRelocation(0, 10), vm.chargeAllocation(0, 10));
+    EXPECT_EQ(vm.nodeId(), 2u);
+}
+
+TEST(Vm, SoftSystemCostsMore)
+{
+    // VmManager keeps a reference; the params must outlive it.
+    Params base_params = Params::base();
+    Params soft_params = Params::soft();
+    RunStats s1, s2;
+    VmManager base(base_params, 0, s1);
+    VmManager soft(soft_params, 0, s2);
+    EXPECT_GT(soft.chargeAllocation(0, 16),
+              base.chargeAllocation(0, 16));
+}
+
+} // namespace rnuma
