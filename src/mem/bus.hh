@@ -5,6 +5,13 @@
  * and later requesters queue. This captures the contention the paper
  * models at the 100 MHz MBus without simulating individual bus
  * phases.
+ *
+ * This header is intentionally header-only: Resource::acquire() sits
+ * on the access hot path (every L1 miss arbitrates for the node bus,
+ * and the network interfaces reuse Resource), and the handful of
+ * arithmetic statements involved inline away entirely. There is no
+ * bus.cc; out-of-line logic that grows beyond this model (e.g. pipelined
+ * arbitration or priority classes) should bring one back.
  */
 
 #ifndef RNUMA_MEM_BUS_HH

@@ -14,6 +14,7 @@
 
 #include "workload/apps/apps.hh"
 
+#include <numeric>
 #include <vector>
 
 #include "workload/synthetic.hh"
@@ -50,7 +51,7 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
     // test scales (7/8 of the cell pages are remote to any node).
     const std::size_t remote_pages = pages_total -
         pages_total / b.nnodes();
-    const std::size_t pool_target = pool_cells < remote_pages * 9 / 10
+    const std::size_t pool_want = pool_cells < remote_pages * 9 / 10
         ? pool_cells : remote_pages * 9 / 10;
     // Cells are chosen to avoid aliasing in the direct-mapped block
     // cache (real interaction lists are laid out by the tree build,
@@ -58,6 +59,20 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
     // genuinely holds the pool — the paper's premise that fmm's
     // remote working set fits the block cache.
     const std::size_t bc_sets = p.blockCacheSize / p.blockSize;
+    // A cell's first block only ever maps to set0 = q*stride % bc_sets,
+    // so at most bc_sets/gcd(stride, bc_sets) sets are reachable (half
+    // that when stride == 1, because each accepted cell also claims
+    // set0+1). Tiny configurations (e.g. the 1 KB test block cache)
+    // offer fewer conflict-free slots than pool_cells; without this cap
+    // the rejection loop below never terminates.
+    const std::size_t set_stride = cell_bytes / p.blockSize;
+    const std::size_t reachable_sets =
+        bc_sets / std::gcd(set_stride, bc_sets);
+    const std::size_t slot_cap = set_stride > 1
+        ? reachable_sets : reachable_sets / 2;
+    const std::size_t pool_limit = slot_cap > 0 ? slot_cap : 1;
+    const std::size_t pool_target =
+        pool_want < pool_limit ? pool_want : pool_limit;
     std::vector<std::vector<Addr>> pool(b.nnodes());
     for (NodeId n = 0; n < b.nnodes(); ++n) {
         pool[n].reserve(pool_target);
@@ -73,7 +88,7 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
                                              ? q / own : ncpus - 1);
             if (used[pg] || (b.nodeOf(owner) == n && b.nnodes() > 1))
                 continue;
-            std::size_t set0 = q * (cell_bytes / p.blockSize) % bc_sets;
+            std::size_t set0 = q * set_stride % bc_sets;
             if (set_used[set0])
                 continue;
             set_used[set0] = true;
@@ -98,8 +113,12 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
         b.barrier();
 
         // Interaction-list passes: re-read pool cells (two blocks of
-        // each expansion) with heavy intra-node reuse.
-        for (std::size_t pass = 0; pass < passes; ++pass) {
+        // each expansion) with heavy intra-node reuse. Degenerate
+        // scales can leave no remote pages to pool (pool_target == 0);
+        // there is then no interaction traffic to model, and indexing
+        // the empty pool would be undefined.
+        for (std::size_t pass = 0; pool_target > 0 && pass < passes;
+             ++pass) {
             for (CpuId c = 0; c < ncpus; ++c) {
                 NodeId n = b.nodeOf(c);
                 for (std::size_t i = 0; i < own; ++i) {

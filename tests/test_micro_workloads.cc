@@ -73,9 +73,11 @@ TEST(MicroWorkloads, HotReuseReaderIsNodeZeroOwnerIsNodeOne)
     EXPECT_EQ(countKind(*wl, 0, RefKind::InitTouch), 0u);
     // All memory refs belong to cpu 0 and are reads.
     EXPECT_GT(countKind(*wl, 0, RefKind::Mem), 0u);
-    for (std::size_t i = 0; i < wl->size(0); ++i)
-        if (wl->at(0, i).kind == RefKind::Mem)
+    for (std::size_t i = 0; i < wl->size(0); ++i) {
+        if (wl->at(0, i).kind == RefKind::Mem) {
             ASSERT_FALSE(wl->at(0, i).write);
+        }
+    }
 }
 
 TEST(MicroWorkloads, AdversaryTouchCountMatches)

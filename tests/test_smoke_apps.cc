@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Smoke tests: the full four-way ProtocolComparison harness
+ * (sim/runner.hh) runs end to end on the tiny 2x2 machine from
+ * test_util.hh for every Table 3 application, and every run issues a
+ * non-zero number of references. Complements test_integration_apps.cc,
+ * which exercises the paper's full machine per protocol but never the
+ * compareProtocols() path or the small configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workload/registry.hh"
+
+#include "test_util.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+// Tiny inputs: smoke, not soak. 0.1 is the floor at which every
+// generator still emits real references (lu's blocked factorization
+// needs a grid of at least 2x2 blocks).
+constexpr double smokeScale = 0.1;
+
+} // namespace
+
+class AppSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AppSmoke, FourWayComparisonOnSmallMachine)
+{
+    Params p = test::smallParams();
+    auto wl = makeApp(GetParam(), p, smokeScale);
+    ASSERT_GT(wl->totalRefs(), 0u);
+
+    ProtocolComparison cmp = compareProtocols(p, *wl);
+
+    // Every configuration simulated something.
+    for (const RunStats *s :
+         {&cmp.baseline, &cmp.ccNuma, &cmp.sComa, &cmp.rNuma}) {
+        EXPECT_GT(s->refs, 0u);
+        EXPECT_GT(s->ticks, 0u);
+    }
+
+    // All four runs consumed the same reference stream.
+    EXPECT_EQ(cmp.baseline.refs, cmp.ccNuma.refs);
+    EXPECT_EQ(cmp.baseline.refs, cmp.sComa.refs);
+    EXPECT_EQ(cmp.baseline.refs, cmp.rNuma.refs);
+
+    // The infinite-block-cache baseline can never lose to the finite
+    // CC-NUMA, so normalized times are >= 1 (Figure 6 methodology).
+    EXPECT_GE(cmp.normCC(), 1.0);
+    EXPECT_GT(cmp.normSC(), 0.0);
+    EXPECT_GT(cmp.normRN(), 0.0);
+    EXPECT_LE(cmp.bestOfBase(), cmp.normCC());
+    EXPECT_LE(cmp.bestOfBase(), cmp.normSC());
+}
+
+// Instantiating from the registry itself keeps the smoke suite in
+// lockstep with the registered app set — a new or renamed app is
+// covered (or surfaced) automatically.
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSmoke,
+                         ::testing::ValuesIn(appNames()));
+
+// Table 3 has exactly ten applications.
+TEST(AppSmoke, RegistryHasAllTableThreeApps)
+{
+    EXPECT_EQ(appNames().size(), 10u);
+}
+
+} // namespace rnuma
