@@ -6,58 +6,16 @@
  * read-write refetch. Without it, only silently evicted read-only
  * blocks count as refetches, so write-reuse pages under-count and
  * relocate late or never.
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "ablation"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Ablation: the prior-owner (read-write refetch) state",
-        "Falsafi & Wood, ISCA'97, Section 3.1 (design-choice "
-        "ablation)");
-
-    double scale = bench::benchScale();
-
-    Table t({"app", "R-NUMA (full)", "R-NUMA (no prior state)",
-             "slowdown", "relocations full/ablated"});
-
-    for (const auto &app : bench::benchApps()) {
-        Params full = Params::base();
-        Params ablated = Params::base();
-        ablated.priorOwnerState = false;
-
-        auto wl = makeApp(app, full, scale);
-        Tick ideal = runInfiniteBaseline(full, *wl).ticks;
-        RunStats a = runProtocol(full, Protocol::RNuma, *wl);
-        RunStats b = runProtocol(ablated, Protocol::RNuma, *wl);
-
-        t.addRow({app,
-                  Table::num(static_cast<double>(a.ticks) /
-                             static_cast<double>(ideal)),
-                  Table::num(static_cast<double>(b.ticks) /
-                             static_cast<double>(ideal)),
-                  Table::num(static_cast<double>(b.ticks) /
-                             static_cast<double>(a.ticks)),
-                  std::to_string(a.relocations) + "/" +
-                      std::to_string(b.relocations)});
-    }
-    t.print(std::cout);
-    std::cout
-        << "\nreading the result: read-reuse pages are still detected "
-           "through the stale\nsharer bits (silent read-only "
-           "evictions), so most applications are\nunaffected — but "
-           "radix, whose reuse is pure write scatter through "
-           "the\ntiny block cache, loses every relocation without "
-           "the prior-owner state.\nThat is precisely why Section "
-           "3.1 adds the extra directory state for\nread-write "
-           "blocks.\n";
-    return 0;
+    return rnuma::bench::figureMain("ablation");
 }

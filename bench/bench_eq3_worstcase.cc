@@ -5,74 +5,16 @@
  * optimum, and then validates the structure empirically with the
  * adversarial reference stream (pages that accumulate exactly T
  * refetches, relocate, and die).
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "eq3"); this binary is the
+ * environment shell around them.
  */
 
-#include <algorithm>
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "core/analytic_model.hh"
-#include "sim/runner.hh"
-#include "workload/micro.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader("EQ 1-3: worst-case competitive analysis",
-                       "Falsafi & Wood, ISCA'97, Section 3.2");
-
-    Params p = Params::base();
-    AnalyticModel model(ModelParams::fromSystem(p, 64));
-
-    std::cout << "Analytic model (base system, 64 blocks moved per "
-                 "page op):\n"
-              << "  C_refetch  = " << model.params().cRefetch << "\n"
-              << "  C_allocate = " << model.params().cAllocate << "\n"
-              << "  C_relocate = " << model.params().cRelocate
-              << "\n\n";
-
-    Table t({"threshold T", "EQ1: worst vs CC-NUMA",
-             "EQ2: worst vs S-COMA"});
-    for (double T : {4.0, 16.0, 19.0, 64.0, 256.0, 1024.0}) {
-        t.addRow({Table::num(T, 0),
-                  Table::num(model.worstVsCCNuma(T)),
-                  Table::num(model.worstVsSComa(T))});
-    }
-    t.print(std::cout);
-    std::cout << "\nEQ3 optimal threshold T* = "
-              << Table::num(model.optimalThreshold())
-              << ", bound at T* = 2 + C_rel/C_alloc = "
-              << Table::num(model.boundAtOptimal())
-              << " (paper: between 2 and 3)\n\n";
-
-    // Empirical adversary on a reduced machine configuration (the
-    // full 8x4 machine with threshold 64 would need very long
-    // streams; the structure is threshold-independent).
-    Params sp = Params::base();
-    sp.relocationThreshold = 16;
-    std::cout << "Empirical adversary (threshold "
-              << sp.relocationThreshold << ", "
-              << "pages relocate then die):\n";
-    auto wl = makeAdversary(sp, 24, sp.relocationThreshold + 1);
-    ProtocolComparison c = compareProtocols(sp, *wl);
-
-    double o_cc = c.normCC() - 1.0;
-    double o_sc = c.normSC() - 1.0;
-    double o_rn = c.normRN() - 1.0;
-    Table e({"protocol", "normalized time", "overhead vs ideal"});
-    e.addRow({"CC-NUMA", Table::num(c.normCC()), Table::num(o_cc)});
-    e.addRow({"S-COMA", Table::num(c.normSC()), Table::num(o_sc)});
-    e.addRow({"R-NUMA", Table::num(c.normRN()), Table::num(o_rn)});
-    e.print(std::cout);
-
-    double best = std::min(o_cc, o_sc);
-    double ratio = best > 0 ? o_rn / best : 0;
-    std::cout << "\nR-NUMA overhead vs best of CC/SC: "
-              << Table::num(ratio)
-              << "x (bounded by a small constant; the paper's bound "
-                 "at T* is "
-              << Table::num(model.boundAtOptimal()) << "x)\n";
-    return 0;
+    return rnuma::bench::figureMain("eq3");
 }

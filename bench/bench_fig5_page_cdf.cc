@@ -4,65 +4,16 @@
  * refetches as a function of the fraction of remote pages, on a
  * CC-NUMA with a 32 KB block cache. The paper omits fft (no capacity
  * or conflict misses); we print it anyway to confirm it is empty.
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "fig5"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-#include <vector>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Figure 5: characterizing remote pages (refetch CDF)",
-        "Falsafi & Wood, ISCA'97, Figure 5 (CC-NUMA, 32KB block "
-        "cache)");
-
-    Params p = Params::base();
-    double scale = bench::benchScale();
-
-    Table t({"app", "remote pages", "refetches", "top10%", "top20%",
-             "top30%", "top50%", "top70%", "top90%"});
-
-    for (const auto &app : bench::benchApps()) {
-        auto wl = makeApp(app, p, scale);
-        RunStats s = runProtocol(p, Protocol::CCNuma, *wl);
-        auto dist = s.refetchDistribution();
-        std::uint64_t total = 0;
-        for (auto v : dist)
-            total += v;
-        if (total == 0) {
-            t.addRow({app, std::to_string(dist.size()), "0",
-                      "-", "-", "-", "-", "-", "-"});
-            continue;
-        }
-        auto cum_at = [&](double frac) {
-            std::size_t n = static_cast<std::size_t>(
-                static_cast<double>(dist.size()) * frac + 0.5);
-            if (n == 0)
-                n = 1;
-            std::uint64_t c = 0;
-            for (std::size_t i = 0; i < n && i < dist.size(); ++i)
-                c += dist[i];
-            return static_cast<double>(c) /
-                static_cast<double>(total);
-        };
-        t.addRow({app, std::to_string(dist.size()),
-                  std::to_string(total), Table::pct(cum_at(0.1)),
-                  Table::pct(cum_at(0.2)), Table::pct(cum_at(0.3)),
-                  Table::pct(cum_at(0.5)), Table::pct(cum_at(0.7)),
-                  Table::pct(cum_at(0.9))});
-    }
-    t.print(std::cout);
-    std::cout
-        << "\npaper shape: in four applications <10% of remote pages "
-           "account for >80%\nof refetches; ~30% of pages cover "
-           "~70% in all but radix, whose refetches\nare spread "
-           "nearly uniformly; fft has none.\n";
-    return 0;
+    return rnuma::bench::figureMain("fig5");
 }

@@ -4,55 +4,16 @@
  * cache), S-COMA (320 KB page cache) and R-NUMA (128 B + 320 KB,
  * threshold 64) for all ten applications, normalized to a CC-NUMA
  * with an infinite block cache.
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "fig6"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <algorithm>
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Figure 6: comparing CC-NUMA, S-COMA and R-NUMA",
-        "Falsafi & Wood, ISCA'97, Figure 6");
-
-    Params p = Params::base();
-    double scale = bench::benchScale();
-
-    Table t({"app", "CC-NUMA", "S-COMA", "R-NUMA", "best", "winner",
-             "R-NUMA vs best"});
-    double worst_gap = 0;
-    std::string worst_app;
-
-    for (const auto &app : bench::benchApps()) {
-        auto wl = makeApp(app, p, scale);
-        ProtocolComparison c = compareProtocols(p, *wl);
-        double best = c.bestOfBase();
-        const char *winner =
-            c.normRN() <= best ? "R-NUMA"
-                               : (c.normCC() < c.normSC() ? "CC-NUMA"
-                                                          : "S-COMA");
-        double gap = c.normRN() / best - 1.0;
-        if (gap > worst_gap) {
-            worst_gap = gap;
-            worst_app = app;
-        }
-        t.addRow({app, Table::num(c.normCC()), Table::num(c.normSC()),
-                  Table::num(c.normRN()), Table::num(best), winner,
-                  gap <= 0 ? "best" : "+" + Table::pct(gap)});
-    }
-    t.print(std::cout);
-    std::cout << "\nworst R-NUMA gap vs best of CC/SC: +"
-              << Table::pct(worst_gap) << " (" << worst_app
-              << "); paper: at most +57%.\n"
-              << "paper extremes: CC-NUMA up to 179% slower than "
-                 "S-COMA (moldyn-like);\nS-COMA up to 315% slower "
-                 "than CC-NUMA (fmm/radix-like).\n";
-    return 0;
+    return rnuma::bench::figureMain("fig6");
 }

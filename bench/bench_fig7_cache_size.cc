@@ -5,62 +5,16 @@
  * (128 B block cache, 320 KB page cache), (32 KB, 320 KB) and
  * (128 B, 40 MB). All normalized to CC-NUMA with an infinite block
  * cache.
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "fig7"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Figure 7: cache-size sensitivity of CC-NUMA and R-NUMA",
-        "Falsafi & Wood, ISCA'97, Figure 7");
-
-    double scale = bench::benchScale();
-
-    Table t({"app", "CC b=1K", "CC b=32K", "RN b=128,p=320K",
-             "RN b=32K,p=320K", "RN b=128,p=40M"});
-
-    for (const auto &app : bench::benchApps()) {
-        Params base = Params::base();
-        auto wl = makeApp(app, base, scale);
-        Tick ideal = runInfiniteBaseline(base, *wl).ticks;
-        auto norm = [&](const Params &p, Protocol proto) {
-            RunStats s = runProtocol(p, proto, *wl);
-            return Table::num(static_cast<double>(s.ticks) /
-                              static_cast<double>(ideal));
-        };
-
-        Params cc1k = base;
-        cc1k.blockCacheSize = 1024;
-        Params rn_small = base; // 128 B + 320 KB (the base R-NUMA)
-        Params rn_bigbc = base;
-        rn_bigbc.rnumaBlockCacheSize = 32 * 1024;
-        Params rn_bigpc = base;
-        rn_bigpc.pageCacheSize = 40 * 1024 * 1024;
-
-        t.addRow({app,
-                  norm(cc1k, Protocol::CCNuma),
-                  norm(base, Protocol::CCNuma),
-                  norm(rn_small, Protocol::RNuma),
-                  norm(rn_bigbc, Protocol::RNuma),
-                  norm(rn_bigpc, Protocol::RNuma)});
-    }
-    t.print(std::cout);
-    std::cout
-        << "\npaper shape: em3d/fft perform well even at b=1K; "
-           "barnes/moldyn/raytrace\nneed only a tiny block cache "
-           "under R-NUMA (the page cache captures the\nreuse set); "
-           "cholesky/fmm/radix degrade up to ~2x at b=1K under "
-           "CC-NUMA;\nlu/ocean degrade up to ~7x. R-NUMA is "
-           "insensitive to block-cache size\nunless the reuse set "
-           "misses the page cache (fmm, radix, ocean improve\nwith "
-           "b=32K or p=40M).\n";
-    return 0;
+    return rnuma::bench::figureMain("fig7");
 }

@@ -3,54 +3,16 @@
  * Figure 8 reproduction: R-NUMA's sensitivity to the relocation
  * threshold, T in {16, 64, 256, 1024}, normalized to T = 64
  * (base R-NUMA: 128 B block cache, 320 KB page cache).
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "fig8"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-#include <vector>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Figure 8: R-NUMA sensitivity to relocation threshold",
-        "Falsafi & Wood, ISCA'97, Figure 8 (normalized to T=64)");
-
-    double scale = bench::benchScale();
-    const std::vector<std::size_t> thresholds{16, 64, 256, 1024};
-
-    Table t({"app", "T=16", "T=64", "T=256", "T=1024"});
-    for (const auto &app : bench::benchApps()) {
-        Params base = Params::base();
-        auto wl = makeApp(app, base, scale);
-
-        Tick t64 = 0;
-        std::vector<Tick> ticks;
-        for (std::size_t T : thresholds) {
-            Params p = base;
-            p.relocationThreshold = T;
-            RunStats s = runProtocol(p, Protocol::RNuma, *wl);
-            ticks.push_back(s.ticks);
-            if (T == 64)
-                t64 = s.ticks;
-        }
-        std::vector<std::string> row{app};
-        for (Tick tk : ticks)
-            row.push_back(Table::num(static_cast<double>(tk) /
-                                     static_cast<double>(t64)));
-        t.addRow(row);
-    }
-    t.print(std::cout);
-    std::cout
-        << "\npaper shape: performance varies by at most ~27% for "
-           "most applications;\napplications with many reuse pages "
-           "(cholesky, fmm, lu, ocean) gain up to\n~25% from the "
-           "lower threshold of 16; communication-dominated "
-           "applications\nare insensitive.\n";
-    return 0;
+    return rnuma::bench::figureMain("fig8");
 }

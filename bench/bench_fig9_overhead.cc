@@ -6,59 +6,16 @@
  * systems 10 us and 5 us (software shootdown via inter-processor
  * interrupts), roughly tripling the per-page costs. Normalized to a
  * CC-NUMA with an infinite block cache (base costs).
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "fig9"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader(
-        "Figure 9: page-fault / TLB overhead sensitivity",
-        "Falsafi & Wood, ISCA'97, Figure 9");
-
-    double scale = bench::benchScale();
-
-    Table t({"app", "S-COMA", "S-COMA-SOFT", "R-NUMA",
-             "R-NUMA-SOFT", "SC soft/base", "RN soft/base"});
-
-    for (const auto &app : bench::benchApps()) {
-        Params base = Params::base();
-        Params soft = Params::soft();
-        auto wl = makeApp(app, base, scale);
-        Tick ideal = runInfiniteBaseline(base, *wl).ticks;
-
-        auto run = [&](const Params &p, Protocol proto) {
-            return runProtocol(p, proto, *wl).ticks;
-        };
-        Tick sc = run(base, Protocol::SComa);
-        Tick sc_soft = run(soft, Protocol::SComa);
-        Tick rn = run(base, Protocol::RNuma);
-        Tick rn_soft = run(soft, Protocol::RNuma);
-
-        auto norm = [&](Tick x) {
-            return Table::num(static_cast<double>(x) /
-                              static_cast<double>(ideal));
-        };
-        t.addRow({app, norm(sc), norm(sc_soft), norm(rn),
-                  norm(rn_soft),
-                  Table::num(static_cast<double>(sc_soft) /
-                             static_cast<double>(sc)),
-                  Table::num(static_cast<double>(rn_soft) /
-                             static_cast<double>(rn))});
-    }
-    t.print(std::cout);
-    std::cout
-        << "\npaper shape: S-COMA is highly sensitive — execution "
-           "time grows by up to\n~3x in more than half the "
-           "applications under SOFT costs. R-NUMA grows by\nat most "
-           "~25% in all but lu (~40%, whose replacements sit on the "
-           "critical\npath due to load imbalance).\n";
-    return 0;
+    return rnuma::bench::figureMain("fig9");
 }

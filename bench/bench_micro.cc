@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/params.hh"
+#include "driver/figures.hh"
+#include "driver/sweep_runner.hh"
 #include "mem/cache.hh"
 #include "net/network.hh"
 #include "proto/protocol.hh"
@@ -121,6 +123,31 @@ BM_AppSimulationRate(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(refs));
 }
 BENCHMARK(BM_AppSimulationRate)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    // The figure pipeline's hot loop: the "micro" figure's 16 cells
+    // through the sweep driver at the given job count. On multi-core
+    // hosts the >1-job configurations should approach linear
+    // speedup, since cells share no mutable state.
+    const driver::FigureSpec *spec = driver::findFigure("micro");
+    driver::Sweep sweep = spec->build(0.05);
+    driver::SweepRunner runner(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        driver::SweepResult r = runner.run(sweep);
+        benchmark::DoNotOptimize(r.cells.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sweep.size()));
+}
+BENCHMARK(BM_SweepRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

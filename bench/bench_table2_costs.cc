@@ -3,92 +3,17 @@
  * Table 2 reproduction: verifies that the simulator's composed
  * operation costs equal the paper's baseline system assumptions, by
  * exercising the actual component models (not just the Params
- * arithmetic).
+ * arithmetic). Exits non-zero on a mismatch.
+ *
+ * The verification and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "table2"); this binary is the
+ * environment shell around them.
  */
 
-#include <iostream>
-#include <memory>
-#include <vector>
-
 #include "bench_util.hh"
-#include "common/params.hh"
-#include "common/table.hh"
-#include "mem/memory.hh"
-#include "net/network.hh"
-#include "proto/protocol.hh"
-
-namespace
-{
-
-using namespace rnuma;
-
-class HomeZero : public Placement
-{
-  public:
-    NodeId homeOf(Addr) const override { return 0; }
-};
-
-class NullSink : public CoherenceSink
-{
-  public:
-    bool invalidateNodeCopy(NodeId, Addr) override { return false; }
-    void downgradeNodeCopy(NodeId, Addr) override {}
-};
-
-} // namespace
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader("Table 2: baseline operation costs",
-                       "Falsafi & Wood, ISCA'97, Table 2");
-
-    Params p = Params::base();
-
-    // Exercise an actual remote fetch through the protocol engine.
-    Network net(p.numNodes, p.netLatency, p.niOccupancy);
-    HomeZero place;
-    NullSink sink;
-    std::vector<std::unique_ptr<Memory>> mems;
-    std::vector<Memory *> ptrs;
-    for (std::size_t i = 0; i < p.numNodes; ++i) {
-        mems.push_back(std::make_unique<Memory>(p.dramAccess,
-                                                p.blockSize));
-        ptrs.push_back(mems.back().get());
-    }
-    GlobalProtocol proto(p, net, place, sink, ptrs);
-    Tick measured_remote =
-        proto.fetch(0, 1, 0x1000, ReqType::GetS).done +
-        2 * p.busLatency; // request + fill bus transactions
-    Tick measured_local =
-        proto.fetch(1000000, 0, 0x2000, ReqType::GetS).done - 1000000 +
-        p.busLatency;
-
-    Table t({"operation", "paper (cycles)", "measured/modeled"});
-    t.addRow({"SRAM access", "8", std::to_string(p.sramAccess)});
-    t.addRow({"DRAM access", "56", std::to_string(p.dramAccess)});
-    t.addRow({"local cache fill", "69",
-              std::to_string(measured_local)});
-    t.addRow({"remote fetch", "376",
-              std::to_string(measured_remote)});
-    t.addRow({"soft trap", "2000", std::to_string(p.softTrap)});
-    t.addRow({"TLB shootdown", "200",
-              std::to_string(p.tlbShootdown)});
-    t.addRow({"page alloc/replace/relocate (0 blocks)", "~3000",
-              std::to_string(p.pageOpCost(0))});
-    t.addRow({"page alloc/replace/relocate (128 blocks)", "~11500",
-              std::to_string(p.pageOpCost(p.blocksPerPage()))});
-
-    Params soft = Params::soft();
-    t.addRow({"SOFT soft trap (10us)", "4000",
-              std::to_string(soft.softTrap)});
-    t.addRow({"SOFT TLB shootdown (5us)", "2000",
-              std::to_string(soft.tlbShootdown)});
-    t.print(std::cout);
-
-    bool ok = measured_remote == 376 && measured_local == 69;
-    std::cout << "\n" << (ok ? "PASS" : "MISMATCH")
-              << ": composed latencies vs Table 2\n";
-    return ok ? 0 : 1;
+    return rnuma::bench::figureMain("table2");
 }

@@ -7,54 +7,16 @@
  *   (c) R-NUMA page replacements as a percentage of S-COMA's.
  * Base system: CC 32KB block cache, S-COMA 320KB page cache, R-NUMA
  * 128B + 320KB, threshold 64.
+ *
+ * The sweep spec and table renderer live in the driver's figure
+ * registry (src/driver/figures.cc, "table4"); this binary is the
+ * scale/jobs-from-environment shell around them.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/runner.hh"
-#include "workload/registry.hh"
 
 int
 main()
 {
-    using namespace rnuma;
-    bench::printHeader("Table 4: block refetches and page replacements",
-                       "Falsafi & Wood, ISCA'97, Table 4");
-
-    Params p = Params::base();
-    double scale = bench::benchScale();
-
-    Table t({"app", "CC-NUMA RW pages", "R-NUMA refetches vs CC",
-             "R-NUMA replacements vs S-COMA"});
-
-    for (const auto &app : bench::benchApps()) {
-        auto wl = makeApp(app, p, scale);
-        RunStats cc = runProtocol(p, Protocol::CCNuma, *wl);
-        RunStats sc = runProtocol(p, Protocol::SComa, *wl);
-        RunStats rn = runProtocol(p, Protocol::RNuma, *wl);
-
-        std::string rw = cc.refetches == 0
-            ? "-" : Table::pct(cc.rwPageRefetchFraction());
-        std::string refetch_ratio = cc.refetches == 0
-            ? "-"
-            : Table::pct(static_cast<double>(rn.refetches) /
-                         static_cast<double>(cc.refetches));
-        std::string repl_ratio = sc.scomaReplacements == 0
-            ? "-"
-            : Table::pct(static_cast<double>(rn.scomaReplacements) /
-                         static_cast<double>(sc.scomaReplacements));
-        t.addRow({app, rw, refetch_ratio, repl_ratio});
-    }
-    t.print(std::cout);
-    std::cout
-        << "\npaper: RW pages account for >80% of refetches in the "
-           "full applications\n(barnes 97%, em3d 100%, fmm 99%, lu "
-           "82%, moldyn 98%, ocean 96%), less in\nthe kernels "
-           "(cholesky 28%, radix 15%) and raytrace (5%). R-NUMA "
-           "cuts\nrefetches sharply except fmm (142%) and radix "
-           "(125%), and virtually\neliminates replacements except "
-           "cholesky (15%) and lu (70%).\n";
-    return 0;
+    return rnuma::bench::figureMain("table4");
 }

@@ -1,8 +1,9 @@
 #include "bench_util.hh"
 
-#include <cstdlib>
 #include <iostream>
 
+#include "common/logging.hh"
+#include "driver/figures.hh"
 #include "workload/registry.hh"
 
 namespace rnuma::bench
@@ -11,11 +12,13 @@ namespace rnuma::bench
 double
 benchScale()
 {
-    const char *env = std::getenv("RNUMA_BENCH_SCALE");
-    if (!env)
-        return 1.0;
-    double s = std::atof(env);
-    return s > 0 ? s : 1.0;
+    return driver::envScale();
+}
+
+std::size_t
+benchJobs()
+{
+    return driver::envJobs();
 }
 
 const std::vector<std::string> &
@@ -33,6 +36,18 @@ printHeader(const char *experiment, const char *paper_ref)
               << "workload scale: " << benchScale()
               << " (set RNUMA_BENCH_SCALE to change)\n"
               << "==========================================================\n\n";
+}
+
+int
+figureMain(const char *figure)
+{
+    const driver::FigureSpec *spec = driver::findFigure(figure);
+    RNUMA_ASSERT(spec, "no figure '", figure,
+                 "' in the driver registry");
+    printHeader(spec->title, spec->paperRef);
+    driver::FigureRun run = driver::runFigure(
+        *spec, benchScale(), benchJobs(), /*verify=*/false);
+    return driver::renderFigure(*spec, run, std::cout);
 }
 
 } // namespace rnuma::bench

@@ -1,7 +1,10 @@
 /**
  * @file
- * Shared helpers for the paper-reproduction benchmark harnesses:
- * environment-controlled workload scale and common run loops.
+ * Shared shell for the paper-reproduction benchmark harnesses. Since
+ * the sweep driver (src/driver) took over cell execution, each bench
+ * binary is one figureMain() call: scale and concurrency come from
+ * the environment, the figure registry supplies the cells and the
+ * table renderer.
  */
 
 #ifndef RNUMA_BENCH_BENCH_UTIL_HH
@@ -9,10 +12,6 @@
 
 #include <string>
 #include <vector>
-
-#include "common/params.hh"
-#include "common/stats.hh"
-#include "workload/workload.hh"
 
 namespace rnuma::bench
 {
@@ -24,11 +23,25 @@ namespace rnuma::bench
  */
 double benchScale();
 
+/**
+ * Sweep concurrency: 1 unless overridden by the RNUMA_BENCH_JOBS
+ * environment variable (0 means hardware concurrency).
+ */
+std::size_t benchJobs();
+
 /** The ten Table 3 applications, in paper order. */
 const std::vector<std::string> &benchApps();
 
 /** Print the standard harness header. */
 void printHeader(const char *experiment, const char *paper_ref);
+
+/**
+ * The whole body of a figure harness: look @p figure up in the
+ * driver's registry, run its sweep at benchScale() with benchJobs()
+ * workers, print the header and the figure's table to stdout, and
+ * return the render status.
+ */
+int figureMain(const char *figure);
 
 } // namespace rnuma::bench
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * custom_sweep: declaring your own experiment grid on the sweep
+ * driver — a parameter study the paper never ran (relocation
+ * threshold x page-cache size for one application), executed on a
+ * thread pool and emitted as machine-readable JSON. This is the
+ * pattern every new scaling or scenario study should follow instead
+ * of hand-rolling run loops.
+ *
+ * Usage: custom_sweep [app] [scale] [jobs]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "driver/result_sink.hh"
+#include "driver/sweep.hh"
+#include "driver/sweep_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnuma;
+    using namespace rnuma::driver;
+
+    std::string app = argc > 1 ? argv[1] : "ocean";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    std::size_t jobs = argc > 3
+        ? static_cast<std::size_t>(std::atol(argv[3])) : 0;
+
+    // The axes: R-NUMA's relocation threshold against its page-cache
+    // budget. Each (T, size) pair is one independent cell.
+    const std::size_t thresholds[] = {16, 64, 256};
+    const std::size_t cache_kb[] = {160, 320, 1280};
+
+    Sweep sweep("threshold-x-pagecache",
+                "R-NUMA threshold vs page-cache size", "custom");
+    Params base = Params::base();
+    // One shared factory: every cell measures the identical trace,
+    // generated once per cell from the base machine's geometry.
+    WorkloadFactory make = appFactory(app, base, scale);
+    Params inf = base;
+    inf.infiniteBlockCache = true;
+    sweep.add({app, "baseline", Protocol::CCNuma, inf, make});
+    for (std::size_t T : thresholds) {
+        for (std::size_t kb : cache_kb) {
+            Params p = base;
+            p.relocationThreshold = T;
+            p.pageCacheSize = kb * 1024;
+            sweep.add({app,
+                       "t" + std::to_string(T) + "-p" +
+                           std::to_string(kb) + "k",
+                       Protocol::RNuma, p, make});
+        }
+    }
+
+    SweepRunner runner(jobs);
+    std::cout << "running " << sweep.size() << " cells for " << app
+              << " on " << runner.jobs() << " threads...\n\n";
+    SweepResult result = runner.run(sweep);
+
+    Tick ideal = result.at(app, "baseline").stats.ticks;
+    Table t({"threshold \\ page cache", "160KB", "320KB", "1280KB"});
+    for (std::size_t T : thresholds) {
+        std::vector<std::string> row{"T=" + std::to_string(T)};
+        for (std::size_t kb : cache_kb) {
+            const CellResult &c = result.at(
+                app, "t" + std::to_string(T) + "-p" +
+                    std::to_string(kb) + "k");
+            row.push_back(Table::num(
+                static_cast<double>(c.stats.ticks) /
+                static_cast<double>(ideal)));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    // The same result, machine-readable (pipe to a file to keep it).
+    FigureRun run;
+    run.name = sweep.name();
+    run.title = sweep.title();
+    run.paperRef = sweep.paperRef();
+    run.scale = scale;
+    run.jobs = runner.jobs();
+    run.result = std::move(result);
+    std::cout << "\nJSON:\n";
+    JsonSink().write(std::cout, {std::move(run)});
+    return 0;
+}

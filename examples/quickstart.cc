@@ -5,9 +5,11 @@
  * (normalized to a CC-NUMA with an infinite block cache, as in
  * Figure 6).
  *
- * Usage: quickstart [app-name] [scale]
+ * Usage: quickstart [app-name] [scale] [jobs]
  *   app-name  one of the ten Table 3 applications (default: moldyn)
  *   scale     input scale factor (default 0.5 for a quick run)
+ *   jobs      threads for the four runs (default 4; 0 = one per
+ *             core; deterministic at any value)
  */
 
 #include <cstdlib>
@@ -25,6 +27,8 @@ main(int argc, char **argv)
 
     std::string app = argc > 1 ? argv[1] : "moldyn";
     double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    std::size_t jobs = argc > 3
+        ? static_cast<std::size_t>(std::atol(argv[3])) : 4;
 
     Params p = Params::base();
     std::cout << "R-NUMA quickstart: app=" << app << " scale=" << scale
@@ -39,7 +43,10 @@ main(int argc, char **argv)
     std::cout << "workload: " << wl->totalRefs()
               << " stream entries\n\n";
 
-    ProtocolComparison c = compareProtocols(p, *wl);
+    // Each of the four runs builds its own copy of the workload, so
+    // they can execute concurrently with bit-identical results.
+    ProtocolComparison c = compareProtocols(
+        p, [&] { return makeApp(app, p, scale); }, jobs);
 
     Table t({"protocol", "ticks", "normalized", "remote fetches",
              "refetches", "page ops"});

@@ -19,6 +19,9 @@ namespace
  */
 bool throwOnPanic = std::getenv("RNUMA_THROW_ON_PANIC") != nullptr;
 
+/** Per-thread override installed by ScopedPanicToException. */
+thread_local bool throwInThread = false;
+
 } // namespace
 
 void
@@ -26,7 +29,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::string full = std::string("panic: ") + msg + " @ " + file + ":" +
         std::to_string(line);
-    if (throwOnPanic)
+    if (throwOnPanic || throwInThread)
         throw std::logic_error(full);
     std::cerr << full << std::endl;
     std::abort();
@@ -37,7 +40,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::string full = std::string("fatal: ") + msg + " @ " + file + ":" +
         std::to_string(line);
-    if (throwOnPanic)
+    if (throwOnPanic || throwInThread)
         throw std::runtime_error(full);
     std::cerr << full << std::endl;
     std::exit(1);
@@ -56,4 +59,16 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+ScopedPanicToException::ScopedPanicToException()
+    : prev_(detail::throwInThread)
+{
+    detail::throwInThread = true;
+}
+
+ScopedPanicToException::~ScopedPanicToException()
+{
+    detail::throwInThread = prev_;
+}
+
 } // namespace rnuma

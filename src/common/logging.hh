@@ -71,6 +71,27 @@ inform(Args &&...args)
     detail::informImpl(detail::concat(std::forward<Args>(args)...));
 }
 
+/**
+ * RAII guard: while alive, panics and fatals on *this thread* throw
+ * (std::logic_error / std::runtime_error) instead of aborting or
+ * exiting. Worker pools install it so a failure inside a worker can
+ * be captured and reported from the spawning thread — std::exit()
+ * from a worker would run static destructors while sibling workers
+ * are still simulating.
+ */
+class ScopedPanicToException
+{
+  public:
+    ScopedPanicToException();
+    ~ScopedPanicToException();
+    ScopedPanicToException(const ScopedPanicToException &) = delete;
+    ScopedPanicToException &
+    operator=(const ScopedPanicToException &) = delete;
+
+  private:
+    bool prev_;
+};
+
 } // namespace rnuma
 
 #endif // RNUMA_COMMON_LOGGING_HH

@@ -90,4 +90,38 @@ RunStats::print(std::ostream &os) const
        << "\n";
 }
 
+bool
+operator==(const PageStats &a, const PageStats &b)
+{
+    return a.refetches == b.refetches &&
+        a.remoteFetches == b.remoteFetches &&
+        a.remoteRead == b.remoteRead &&
+        a.remoteWrite == b.remoteWrite;
+}
+
+bool
+operator==(const RunStats &a, const RunStats &b)
+{
+    return a.ticks == b.ticks && a.refs == b.refs &&
+        a.l1Hits == b.l1Hits && a.l1Misses == b.l1Misses &&
+        a.upgrades == b.upgrades && a.barriers == b.barriers &&
+        a.localFills == b.localFills &&
+        a.nodeTransfers == b.nodeTransfers &&
+        a.blockCacheHits == b.blockCacheHits &&
+        a.pageCacheHits == b.pageCacheHits &&
+        a.remoteFetches == b.remoteFetches &&
+        a.refetches == b.refetches &&
+        a.coherenceMisses == b.coherenceMisses &&
+        a.coldMisses == b.coldMisses &&
+        a.invalidationsSent == b.invalidationsSent &&
+        a.forwards == b.forwards && a.writebacks == b.writebacks &&
+        a.flushedBlocks == b.flushedBlocks &&
+        a.pageFaults == b.pageFaults &&
+        a.scomaAllocations == b.scomaAllocations &&
+        a.scomaReplacements == b.scomaReplacements &&
+        a.relocations == b.relocations && a.busWait == b.busWait &&
+        a.niWait == b.niWait && a.osCycles == b.osCycles &&
+        a.stallCycles == b.stallCycles && a.pages == b.pages;
+}
+
 } // namespace rnuma

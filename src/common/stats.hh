@@ -118,6 +118,22 @@ struct RunStats
     void print(std::ostream &os) const;
 };
 
+/**
+ * Field-by-field equality, including the per-page map. The sweep
+ * driver uses this to assert that parallel cell execution is
+ * bit-identical to serial execution.
+ */
+bool operator==(const PageStats &a, const PageStats &b);
+bool operator==(const RunStats &a, const RunStats &b);
+inline bool operator!=(const PageStats &a, const PageStats &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const RunStats &a, const RunStats &b)
+{
+    return !(a == b);
+}
+
 } // namespace rnuma
 
 #endif // RNUMA_COMMON_STATS_HH

@@ -1,0 +1,706 @@
+#include "driver/figures.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/analytic_model.hh"
+#include "mem/memory.hh"
+#include "net/network.hh"
+#include "proto/protocol.hh"
+#include "workload/micro.hh"
+#include "workload/registry.hh"
+#include "workload/synthetic.hh"
+
+namespace rnuma::driver
+{
+
+namespace
+{
+
+double
+norm(Tick x, Tick base)
+{
+    RNUMA_ASSERT(base > 0, "normalization baseline is zero");
+    return static_cast<double>(x) / static_cast<double>(base);
+}
+
+/** Normalized execution time of (app, config) vs (app, "baseline"). */
+double
+normTo(const SweepResult &r, const std::string &app,
+       const std::string &config, const std::string &base = "baseline")
+{
+    return norm(r.at(app, config).stats.ticks,
+                r.at(app, base).stats.ticks);
+}
+
+//--------------------------------------------------------------------------
+// Figure 5: the refetch CDF over remote pages (CC-NUMA, 32 KB cache).
+//--------------------------------------------------------------------------
+
+Sweep
+buildFig5(double scale)
+{
+    Sweep s("fig5");
+    Params p = Params::base();
+    for (const auto &app : appNames())
+        s.addApp(app, "ccnuma", p, Protocol::CCNuma, scale);
+    return s;
+}
+
+int
+renderFig5(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "remote pages", "refetches", "top10%", "top20%",
+             "top30%", "top50%", "top70%", "top90%"});
+    for (const CellResult &c : run.result.cells) {
+        auto dist = c.stats.refetchDistribution();
+        std::uint64_t total = 0;
+        for (auto v : dist)
+            total += v;
+        if (total == 0) {
+            t.addRow({c.app, std::to_string(dist.size()), "0",
+                      "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        auto cum_at = [&](double frac) {
+            std::size_t n = static_cast<std::size_t>(
+                static_cast<double>(dist.size()) * frac + 0.5);
+            if (n == 0)
+                n = 1;
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < n && i < dist.size(); ++i)
+                cum += dist[i];
+            return static_cast<double>(cum) /
+                static_cast<double>(total);
+        };
+        t.addRow({c.app, std::to_string(dist.size()),
+                  std::to_string(total), Table::pct(cum_at(0.1)),
+                  Table::pct(cum_at(0.2)), Table::pct(cum_at(0.3)),
+                  Table::pct(cum_at(0.5)), Table::pct(cum_at(0.7)),
+                  Table::pct(cum_at(0.9))});
+    }
+    t.print(os);
+    os << "\npaper shape: in four applications <10% of remote pages "
+          "account for >80%\nof refetches; ~30% of pages cover "
+          "~70% in all but radix, whose refetches\nare spread "
+          "nearly uniformly; fft has none.\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Figure 6: CC-NUMA vs S-COMA vs R-NUMA, normalized to the infinite
+// baseline.
+//--------------------------------------------------------------------------
+
+Sweep
+buildFig6(double scale)
+{
+    Sweep s("fig6");
+    Params p = Params::base();
+    for (const auto &app : appNames()) {
+        s.addBaseline(app, p, scale);
+        s.addApp(app, "ccnuma", p, Protocol::CCNuma, scale);
+        s.addApp(app, "scoma", p, Protocol::SComa, scale);
+        s.addApp(app, "rnuma", p, Protocol::RNuma, scale);
+    }
+    return s;
+}
+
+int
+renderFig6(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "CC-NUMA", "S-COMA", "R-NUMA", "best", "winner",
+             "R-NUMA vs best"});
+    double worst_gap = 0;
+    std::string worst_app;
+    for (const auto &app : appNames()) {
+        double cc = normTo(run.result, app, "ccnuma");
+        double sc = normTo(run.result, app, "scoma");
+        double rn = normTo(run.result, app, "rnuma");
+        double best = std::min(cc, sc);
+        const char *winner = rn <= best
+            ? "R-NUMA" : (cc < sc ? "CC-NUMA" : "S-COMA");
+        double gap = rn / best - 1.0;
+        if (gap > worst_gap) {
+            worst_gap = gap;
+            worst_app = app;
+        }
+        t.addRow({app, Table::num(cc), Table::num(sc),
+                  Table::num(rn), Table::num(best), winner,
+                  gap <= 0 ? "best" : "+" + Table::pct(gap)});
+    }
+    t.print(os);
+    os << "\nworst R-NUMA gap vs best of CC/SC: +"
+       << Table::pct(worst_gap) << " (" << worst_app
+       << "); paper: at most +57%.\n"
+       << "paper extremes: CC-NUMA up to 179% slower than "
+          "S-COMA (moldyn-like);\nS-COMA up to 315% slower "
+          "than CC-NUMA (fmm/radix-like).\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Figure 7: cache-size sensitivity.
+//--------------------------------------------------------------------------
+
+Sweep
+buildFig7(double scale)
+{
+    Sweep s("fig7");
+    Params base = Params::base();
+    Params inf = base;
+    inf.infiniteBlockCache = true;
+    Params cc1k = base;
+    cc1k.blockCacheSize = 1024;
+    Params rn_bigbc = base;
+    rn_bigbc.rnumaBlockCacheSize = 32 * 1024;
+    Params rn_bigpc = base;
+    rn_bigpc.pageCacheSize = 40 * 1024 * 1024;
+    for (const auto &app : appNames()) {
+        // One factory per row: fmm derives its anti-aliasing pool
+        // from the block-cache geometry, so every cache-size column
+        // must measure the identical trace generated from the base
+        // machine (as the original harness did).
+        WorkloadFactory make = appFactory(app, base, scale);
+        s.add({app, "baseline", Protocol::CCNuma, inf, make});
+        s.add({app, "cc-b1k", Protocol::CCNuma, cc1k, make});
+        s.add({app, "cc-b32k", Protocol::CCNuma, base, make});
+        s.add({app, "rn-b128-p320k", Protocol::RNuma, base, make});
+        s.add({app, "rn-b32k-p320k", Protocol::RNuma, rn_bigbc,
+               make});
+        s.add({app, "rn-b128-p40m", Protocol::RNuma, rn_bigpc,
+               make});
+    }
+    return s;
+}
+
+int
+renderFig7(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "CC b=1K", "CC b=32K", "RN b=128,p=320K",
+             "RN b=32K,p=320K", "RN b=128,p=40M"});
+    for (const auto &app : appNames()) {
+        t.addRow({app,
+                  Table::num(normTo(run.result, app, "cc-b1k")),
+                  Table::num(normTo(run.result, app, "cc-b32k")),
+                  Table::num(normTo(run.result, app,
+                                    "rn-b128-p320k")),
+                  Table::num(normTo(run.result, app,
+                                    "rn-b32k-p320k")),
+                  Table::num(normTo(run.result, app,
+                                    "rn-b128-p40m"))});
+    }
+    t.print(os);
+    os << "\npaper shape: em3d/fft perform well even at b=1K; "
+          "barnes/moldyn/raytrace\nneed only a tiny block cache "
+          "under R-NUMA (the page cache captures the\nreuse set); "
+          "cholesky/fmm/radix degrade up to ~2x at b=1K under "
+          "CC-NUMA;\nlu/ocean degrade up to ~7x. R-NUMA is "
+          "insensitive to block-cache size\nunless the reuse set "
+          "misses the page cache (fmm, radix, ocean improve\nwith "
+          "b=32K or p=40M).\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Figure 8: relocation-threshold sensitivity, normalized to T=64.
+//--------------------------------------------------------------------------
+
+constexpr std::size_t fig8Thresholds[] = {16, 64, 256, 1024};
+
+Sweep
+buildFig8(double scale)
+{
+    Sweep s("fig8");
+    Params base = Params::base();
+    for (const auto &app : appNames()) {
+        WorkloadFactory make = appFactory(app, base, scale);
+        for (std::size_t T : fig8Thresholds) {
+            Params p = base;
+            p.relocationThreshold = T;
+            s.add({app, "t" + std::to_string(T), Protocol::RNuma, p,
+                   make});
+        }
+    }
+    return s;
+}
+
+int
+renderFig8(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "T=16", "T=64", "T=256", "T=1024"});
+    for (const auto &app : appNames()) {
+        std::vector<std::string> row{app};
+        for (std::size_t T : fig8Thresholds) {
+            row.push_back(Table::num(
+                normTo(run.result, app, "t" + std::to_string(T),
+                       "t64")));
+        }
+        t.addRow(row);
+    }
+    t.print(os);
+    os << "\npaper shape: performance varies by at most ~27% for "
+          "most applications;\napplications with many reuse pages "
+          "(cholesky, fmm, lu, ocean) gain up to\n~25% from the "
+          "lower threshold of 16; communication-dominated "
+          "applications\nare insensitive.\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Figure 9: page-fault / TLB overhead sensitivity.
+//--------------------------------------------------------------------------
+
+Sweep
+buildFig9(double scale)
+{
+    Sweep s("fig9");
+    Params base = Params::base();
+    Params inf = base;
+    inf.infiniteBlockCache = true;
+    Params soft = Params::soft();
+    for (const auto &app : appNames()) {
+        WorkloadFactory make = appFactory(app, base, scale);
+        s.add({app, "baseline", Protocol::CCNuma, inf, make});
+        s.add({app, "scoma", Protocol::SComa, base, make});
+        s.add({app, "scoma-soft", Protocol::SComa, soft, make});
+        s.add({app, "rnuma", Protocol::RNuma, base, make});
+        s.add({app, "rnuma-soft", Protocol::RNuma, soft, make});
+    }
+    return s;
+}
+
+int
+renderFig9(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "S-COMA", "S-COMA-SOFT", "R-NUMA",
+             "R-NUMA-SOFT", "SC soft/base", "RN soft/base"});
+    for (const auto &app : appNames()) {
+        Tick sc = run.result.at(app, "scoma").stats.ticks;
+        Tick sc_soft = run.result.at(app, "scoma-soft").stats.ticks;
+        Tick rn = run.result.at(app, "rnuma").stats.ticks;
+        Tick rn_soft = run.result.at(app, "rnuma-soft").stats.ticks;
+        Tick ideal = run.result.at(app, "baseline").stats.ticks;
+        t.addRow({app, Table::num(norm(sc, ideal)),
+                  Table::num(norm(sc_soft, ideal)),
+                  Table::num(norm(rn, ideal)),
+                  Table::num(norm(rn_soft, ideal)),
+                  Table::num(norm(sc_soft, sc)),
+                  Table::num(norm(rn_soft, rn))});
+    }
+    t.print(os);
+    os << "\npaper shape: S-COMA is highly sensitive — execution "
+          "time grows by up to\n~3x in more than half the "
+          "applications under SOFT costs. R-NUMA grows by\nat most "
+          "~25% in all but lu (~40%, whose replacements sit on the "
+          "critical\npath due to load imbalance).\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Table 2: baseline operation costs (no workload cells: the check
+// exercises the protocol engine directly against the paper's
+// latencies).
+//--------------------------------------------------------------------------
+
+class HomeZero : public Placement
+{
+  public:
+    NodeId homeOf(Addr) const override { return 0; }
+};
+
+class NullSink : public CoherenceSink
+{
+  public:
+    bool invalidateNodeCopy(NodeId, Addr) override { return false; }
+    void downgradeNodeCopy(NodeId, Addr) override {}
+};
+
+Sweep
+buildTable2(double)
+{
+    return Sweep("table2");
+}
+
+int
+renderTable2(const FigureRun &, std::ostream &os)
+{
+    Params p = Params::base();
+
+    // Exercise an actual remote fetch through the protocol engine.
+    Network net(p.numNodes, p.netLatency, p.niOccupancy);
+    HomeZero place;
+    NullSink sink;
+    std::vector<std::unique_ptr<Memory>> mems;
+    std::vector<Memory *> ptrs;
+    for (std::size_t i = 0; i < p.numNodes; ++i) {
+        mems.push_back(std::make_unique<Memory>(p.dramAccess,
+                                                p.blockSize));
+        ptrs.push_back(mems.back().get());
+    }
+    GlobalProtocol proto(p, net, place, sink, ptrs);
+    Tick measured_remote =
+        proto.fetch(0, 1, 0x1000, ReqType::GetS).done +
+        2 * p.busLatency; // request + fill bus transactions
+    Tick measured_local =
+        proto.fetch(1000000, 0, 0x2000, ReqType::GetS).done -
+        1000000 + p.busLatency;
+
+    Table t({"operation", "paper (cycles)", "measured/modeled"});
+    t.addRow({"SRAM access", "8", std::to_string(p.sramAccess)});
+    t.addRow({"DRAM access", "56", std::to_string(p.dramAccess)});
+    t.addRow({"local cache fill", "69",
+              std::to_string(measured_local)});
+    t.addRow({"remote fetch", "376",
+              std::to_string(measured_remote)});
+    t.addRow({"soft trap", "2000", std::to_string(p.softTrap)});
+    t.addRow({"TLB shootdown", "200",
+              std::to_string(p.tlbShootdown)});
+    t.addRow({"page alloc/replace/relocate (0 blocks)", "~3000",
+              std::to_string(p.pageOpCost(0))});
+    t.addRow({"page alloc/replace/relocate (128 blocks)", "~11500",
+              std::to_string(p.pageOpCost(p.blocksPerPage()))});
+
+    Params soft = Params::soft();
+    t.addRow({"SOFT soft trap (10us)", "4000",
+              std::to_string(soft.softTrap)});
+    t.addRow({"SOFT TLB shootdown (5us)", "2000",
+              std::to_string(soft.tlbShootdown)});
+    t.print(os);
+
+    bool ok = measured_remote == 376 && measured_local == 69;
+    os << "\n" << (ok ? "PASS" : "MISMATCH")
+       << ": composed latencies vs Table 2\n";
+    return ok ? 0 : 1;
+}
+
+//--------------------------------------------------------------------------
+// Table 4: block refetches and page replacements.
+//--------------------------------------------------------------------------
+
+Sweep
+buildTable4(double scale)
+{
+    Sweep s("table4");
+    Params p = Params::base();
+    for (const auto &app : appNames()) {
+        s.addApp(app, "ccnuma", p, Protocol::CCNuma, scale);
+        s.addApp(app, "scoma", p, Protocol::SComa, scale);
+        s.addApp(app, "rnuma", p, Protocol::RNuma, scale);
+    }
+    return s;
+}
+
+int
+renderTable4(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "CC-NUMA RW pages", "R-NUMA refetches vs CC",
+             "R-NUMA replacements vs S-COMA"});
+    for (const auto &app : appNames()) {
+        const RunStats &cc = run.result.at(app, "ccnuma").stats;
+        const RunStats &sc = run.result.at(app, "scoma").stats;
+        const RunStats &rn = run.result.at(app, "rnuma").stats;
+        std::string rw = cc.refetches == 0
+            ? "-" : Table::pct(cc.rwPageRefetchFraction());
+        std::string refetch_ratio = cc.refetches == 0
+            ? "-"
+            : Table::pct(static_cast<double>(rn.refetches) /
+                         static_cast<double>(cc.refetches));
+        std::string repl_ratio = sc.scomaReplacements == 0
+            ? "-"
+            : Table::pct(static_cast<double>(rn.scomaReplacements) /
+                         static_cast<double>(sc.scomaReplacements));
+        t.addRow({app, rw, refetch_ratio, repl_ratio});
+    }
+    t.print(os);
+    os << "\npaper: RW pages account for >80% of refetches in the "
+          "full applications\n(barnes 97%, em3d 100%, fmm 99%, lu "
+          "82%, moldyn 98%, ocean 96%), less in\nthe kernels "
+          "(cholesky 28%, radix 15%) and raytrace (5%). R-NUMA "
+          "cuts\nrefetches sharply except fmm (142%) and radix "
+          "(125%), and virtually\neliminates replacements except "
+          "cholesky (15%) and lu (70%).\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// EQ 1-3: the worst-case competitive analysis plus the empirical
+// adversary.
+//--------------------------------------------------------------------------
+
+Sweep
+buildEq3(double)
+{
+    Sweep s("eq3");
+    // The adversary stream is threshold-16 on a reduced problem (the
+    // full threshold of 64 would need very long streams; the
+    // structure is threshold-independent), so it does not scale.
+    Params sp = Params::base();
+    sp.relocationThreshold = 16;
+    WorkloadFactory adversary = [sp] {
+        return std::unique_ptr<Workload>(
+            makeAdversary(sp, 24, sp.relocationThreshold + 1));
+    };
+    Params base = sp;
+    base.infiniteBlockCache = true;
+    s.add({"adversary", "baseline", Protocol::CCNuma, base,
+           adversary});
+    s.add({"adversary", "ccnuma", Protocol::CCNuma, sp, adversary});
+    s.add({"adversary", "scoma", Protocol::SComa, sp, adversary});
+    s.add({"adversary", "rnuma", Protocol::RNuma, sp, adversary});
+    return s;
+}
+
+int
+renderEq3(const FigureRun &run, std::ostream &os)
+{
+    Params p = Params::base();
+    AnalyticModel model(ModelParams::fromSystem(p, 64));
+
+    os << "Analytic model (base system, 64 blocks moved per "
+          "page op):\n"
+       << "  C_refetch  = " << model.params().cRefetch << "\n"
+       << "  C_allocate = " << model.params().cAllocate << "\n"
+       << "  C_relocate = " << model.params().cRelocate << "\n\n";
+
+    Table t({"threshold T", "EQ1: worst vs CC-NUMA",
+             "EQ2: worst vs S-COMA"});
+    for (double T : {4.0, 16.0, 19.0, 64.0, 256.0, 1024.0}) {
+        t.addRow({Table::num(T, 0),
+                  Table::num(model.worstVsCCNuma(T)),
+                  Table::num(model.worstVsSComa(T))});
+    }
+    t.print(os);
+    os << "\nEQ3 optimal threshold T* = "
+       << Table::num(model.optimalThreshold())
+       << ", bound at T* = 2 + C_rel/C_alloc = "
+       << Table::num(model.boundAtOptimal())
+       << " (paper: between 2 and 3)\n\n";
+
+    os << "Empirical adversary (threshold 16, pages relocate then "
+          "die):\n";
+    double o_cc = normTo(run.result, "adversary", "ccnuma") - 1.0;
+    double o_sc = normTo(run.result, "adversary", "scoma") - 1.0;
+    double o_rn = normTo(run.result, "adversary", "rnuma") - 1.0;
+    Table e({"protocol", "normalized time", "overhead vs ideal"});
+    e.addRow({"CC-NUMA", Table::num(o_cc + 1.0), Table::num(o_cc)});
+    e.addRow({"S-COMA", Table::num(o_sc + 1.0), Table::num(o_sc)});
+    e.addRow({"R-NUMA", Table::num(o_rn + 1.0), Table::num(o_rn)});
+    e.print(os);
+
+    double best = std::min(o_cc, o_sc);
+    double ratio = best > 0 ? o_rn / best : 0;
+    os << "\nR-NUMA overhead vs best of CC/SC: " << Table::num(ratio)
+       << "x (bounded by a small constant; the paper's bound at T* "
+          "is "
+       << Table::num(model.boundAtOptimal()) << "x)\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Ablation: the prior-owner (read-write refetch) directory state.
+//--------------------------------------------------------------------------
+
+Sweep
+buildAblation(double scale)
+{
+    Sweep s("ablation");
+    Params full = Params::base();
+    Params ablated = full;
+    ablated.priorOwnerState = false;
+    for (const auto &app : appNames()) {
+        s.addBaseline(app, full, scale);
+        s.addApp(app, "full", full, Protocol::RNuma, scale);
+        s.addApp(app, "ablated", ablated, Protocol::RNuma, scale);
+    }
+    return s;
+}
+
+int
+renderAblation(const FigureRun &run, std::ostream &os)
+{
+    Table t({"app", "R-NUMA (full)", "R-NUMA (no prior state)",
+             "slowdown", "relocations full/ablated"});
+    for (const auto &app : appNames()) {
+        const RunStats &a = run.result.at(app, "full").stats;
+        const RunStats &b = run.result.at(app, "ablated").stats;
+        Tick ideal = run.result.at(app, "baseline").stats.ticks;
+        t.addRow({app, Table::num(norm(a.ticks, ideal)),
+                  Table::num(norm(b.ticks, ideal)),
+                  Table::num(norm(b.ticks, a.ticks)),
+                  std::to_string(a.relocations) + "/" +
+                      std::to_string(b.relocations)});
+    }
+    t.print(os);
+    os << "\nreading the result: read-reuse pages are still detected "
+          "through the stale\nsharer bits (silent read-only "
+          "evictions), so most applications are\nunaffected — but "
+          "radix, whose reuse is pure write scatter through "
+          "the\ntiny block cache, loses every relocation without "
+          "the prior-owner state.\nThat is precisely why Section "
+          "3.1 adds the extra directory state for\nread-write "
+          "blocks.\n";
+    return 0;
+}
+
+//--------------------------------------------------------------------------
+// Micro: the four canonical access patterns under all protocols
+// (not a paper figure; the library's analyzable sanity sweep).
+//--------------------------------------------------------------------------
+
+Sweep
+buildMicro(double scale)
+{
+    Sweep s("micro");
+    Params p = Params::base();
+    struct Pattern
+    {
+        const char *name;
+        WorkloadFactory make;
+    };
+    const Pattern patterns[] = {
+        {"private-loop", [p, scale] {
+             return std::unique_ptr<Workload>(makePrivateLoop(
+                 p, 4, scaled(20, scale)));
+         }},
+        {"hot-reuse", [p, scale] {
+             return std::unique_ptr<Workload>(makeHotRemoteReuse(
+                 p, scaled(120, scale, 2), 8));
+         }},
+        {"producer-consumer", [p, scale] {
+             return std::unique_ptr<Workload>(makeProducerConsumer(
+                 p, scaled(32, scale, 1), 10));
+         }},
+        {"rw-sharing", [p, scale] {
+             return std::unique_ptr<Workload>(
+                 makeRwSharing(p, scaled(400, scale, 8)));
+         }},
+    };
+    for (const Pattern &pat : patterns) {
+        Params base = p;
+        base.infiniteBlockCache = true;
+        s.add({pat.name, "baseline", Protocol::CCNuma, base,
+               pat.make});
+        s.add({pat.name, "ccnuma", Protocol::CCNuma, p, pat.make});
+        s.add({pat.name, "scoma", Protocol::SComa, p, pat.make});
+        s.add({pat.name, "rnuma", Protocol::RNuma, p, pat.make});
+    }
+    return s;
+}
+
+int
+renderMicro(const FigureRun &run, std::ostream &os)
+{
+    Table t({"pattern", "CC-NUMA", "S-COMA", "R-NUMA", "winner"});
+    for (const char *pat : {"private-loop", "hot-reuse",
+                            "producer-consumer", "rw-sharing"}) {
+        double cc = normTo(run.result, pat, "ccnuma");
+        double sc = normTo(run.result, pat, "scoma");
+        double rn = normTo(run.result, pat, "rnuma");
+        const char *winner = rn <= std::min(cc, sc)
+            ? "R-NUMA" : (cc < sc ? "CC-NUMA" : "S-COMA");
+        t.addRow({pat, Table::num(cc), Table::num(sc),
+                  Table::num(rn), winner});
+    }
+    t.print(os);
+    os << "\nexpected shape: all protocols tie on private-loop; "
+          "S-COMA and R-NUMA win\nhot-reuse (the reuse set lives in "
+          "the page cache); CC-NUMA wins\nproducer-consumer (pure "
+          "coherence traffic, S-COMA allocates for nothing);\n"
+          "nobody helps rw-sharing (Section 1: migration and "
+          "replication both fail).\n";
+    return 0;
+}
+
+} // namespace
+
+const std::vector<FigureSpec> &
+figureSpecs()
+{
+    static const std::vector<FigureSpec> specs = {
+        {"fig5", "Figure 5: characterizing remote pages (refetch CDF)",
+         "Falsafi & Wood, ISCA'97, Figure 5 (CC-NUMA, 32KB block "
+         "cache)",
+         &buildFig5, &renderFig5},
+        {"fig6", "Figure 6: comparing CC-NUMA, S-COMA and R-NUMA",
+         "Falsafi & Wood, ISCA'97, Figure 6", &buildFig6,
+         &renderFig6},
+        {"fig7",
+         "Figure 7: cache-size sensitivity of CC-NUMA and R-NUMA",
+         "Falsafi & Wood, ISCA'97, Figure 7", &buildFig7,
+         &renderFig7},
+        {"fig8", "Figure 8: R-NUMA sensitivity to relocation threshold",
+         "Falsafi & Wood, ISCA'97, Figure 8 (normalized to T=64)",
+         &buildFig8, &renderFig8},
+        {"fig9", "Figure 9: page-fault / TLB overhead sensitivity",
+         "Falsafi & Wood, ISCA'97, Figure 9", &buildFig9,
+         &renderFig9},
+        {"table2", "Table 2: baseline operation costs",
+         "Falsafi & Wood, ISCA'97, Table 2", &buildTable2,
+         &renderTable2},
+        {"table4", "Table 4: block refetches and page replacements",
+         "Falsafi & Wood, ISCA'97, Table 4", &buildTable4,
+         &renderTable4},
+        {"eq3", "EQ 1-3: worst-case competitive analysis",
+         "Falsafi & Wood, ISCA'97, Section 3.2", &buildEq3,
+         &renderEq3},
+        {"ablation",
+         "Ablation: the prior-owner (read-write refetch) state",
+         "Falsafi & Wood, ISCA'97, Section 3.1 (design-choice "
+         "ablation)",
+         &buildAblation, &renderAblation},
+        {"micro",
+         "Micro: canonical access patterns under every protocol",
+         "Falsafi & Wood, ISCA'97, Sections 1-3 (motivating "
+         "patterns)",
+         &buildMicro, &renderMicro},
+    };
+    return specs;
+}
+
+const FigureSpec *
+findFigure(const std::string &name)
+{
+    for (const FigureSpec &s : figureSpecs())
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+FigureRun
+runFigure(const FigureSpec &spec, double scale, std::size_t jobs,
+          bool verify)
+{
+    FigureRun run;
+    run.name = spec.name;
+    run.title = spec.title;
+    run.paperRef = spec.paperRef;
+    run.scale = scale;
+
+    SweepRunner runner(jobs);
+    run.jobs = runner.jobs();
+    Sweep sweep = spec.build(scale);
+    auto t0 = std::chrono::steady_clock::now();
+    run.result = runner.run(sweep);
+    auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    // A serial run *is* the reference; re-running it to compare
+    // against itself would double the cost to prove nothing.
+    if (verify && run.jobs > 1)
+        verifySerialIdentical(sweep, run.result);
+    return run;
+}
+
+int
+renderFigure(const FigureSpec &spec, FigureRun &run,
+             std::ostream &os)
+{
+    run.status = spec.render(run, os);
+    return run.status;
+}
+
+} // namespace rnuma::driver

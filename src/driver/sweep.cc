@@ -1,0 +1,103 @@
+#include "driver/sweep.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "workload/registry.hh"
+
+namespace rnuma::driver
+{
+
+double
+envScale()
+{
+    const char *env = std::getenv("RNUMA_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    char *end = nullptr;
+    double s = std::strtod(env, &end);
+    if (end == env || *end != '\0' || s <= 0) {
+        warn("ignoring RNUMA_BENCH_SCALE='", env,
+             "' (want a positive number); using 1.0");
+        return 1.0;
+    }
+    return s;
+}
+
+std::size_t
+envJobs()
+{
+    const char *env = std::getenv("RNUMA_BENCH_JOBS");
+    if (!env)
+        return 1;
+    char *end = nullptr;
+    long j = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || j < 0) {
+        warn("ignoring RNUMA_BENCH_JOBS='", env,
+             "' (want a non-negative integer; 0 = all cores); "
+             "using 1");
+        return 1;
+    }
+    return static_cast<std::size_t>(j);
+}
+
+WorkloadFactory
+appFactory(std::string app, const Params &gen, double scale,
+           std::uint64_t seed)
+{
+    return [app = std::move(app), gen, scale, seed] {
+        return std::unique_ptr<Workload>(
+            makeApp(app, gen, scale, seed));
+    };
+}
+
+Sweep::Sweep(std::string name, std::string title,
+             std::string paper_ref)
+    : name_(std::move(name)), title_(std::move(title)),
+      paper_ref_(std::move(paper_ref))
+{
+}
+
+void
+Sweep::add(Cell c)
+{
+    RNUMA_ASSERT(c.make, "cell (", c.app, ", ", c.config,
+                 ") has no workload factory");
+    for (const Cell &prev : cells_) {
+        if (prev.app == c.app && prev.config == c.config) {
+            RNUMA_FATAL("duplicate cell (", c.app, ", ", c.config,
+                        ") in sweep '", name_, "'");
+        }
+    }
+    cells_.push_back(std::move(c));
+}
+
+void
+Sweep::addApp(const std::string &app, const std::string &config,
+              const Params &p, Protocol proto, double scale,
+              std::uint64_t seed)
+{
+    Cell c;
+    c.app = app;
+    c.config = config;
+    c.protocol = proto;
+    c.params = p;
+    c.make = appFactory(app, p, scale, seed);
+    add(std::move(c));
+}
+
+void
+Sweep::addBaseline(const std::string &app, const Params &p,
+                   double scale, std::uint64_t seed)
+{
+    Cell c;
+    c.app = app;
+    c.config = "baseline";
+    c.protocol = Protocol::CCNuma;
+    c.params = p;
+    c.params.infiniteBlockCache = true;
+    c.make = appFactory(app, p, scale, seed);
+    add(std::move(c));
+}
+
+} // namespace rnuma::driver

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Thread-parallel sweep execution. Cells are trivially independent
+ * (each constructs its own Params, Workload, and Machine), so the
+ * runner is a plain work-stealing pool: an atomic cursor over the
+ * cell list and N worker threads. Results land at the cell's own
+ * index, so the output order — and, because the simulator is
+ * deterministic, every RunStats bit — is identical at any job count.
+ */
+
+#ifndef RNUMA_DRIVER_SWEEP_RUNNER_HH
+#define RNUMA_DRIVER_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "driver/sweep.hh"
+
+namespace rnuma::driver
+{
+
+/** The outcome of one cell: its labels plus the full RunStats. */
+struct CellResult
+{
+    std::string app;
+    std::string config;
+    Protocol protocol = Protocol::CCNuma;
+    RunStats stats;
+    double wallMs = 0; ///< host wall-clock time for this cell
+};
+
+/** All cell results of one sweep, in cell order. */
+struct SweepResult
+{
+    std::vector<CellResult> cells;
+
+    /** Find a cell by labels; nullptr when absent. */
+    const CellResult *find(const std::string &app,
+                           const std::string &config) const;
+
+    /** Find a cell by labels; fatal when absent. */
+    const CellResult &at(const std::string &app,
+                         const std::string &config) const;
+};
+
+/** Executes sweeps with a fixed concurrency level. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 means hardware concurrency. */
+    explicit SweepRunner(std::size_t jobs = 1);
+
+    /**
+     * Run every cell and return results in cell order. A cell that
+     * fails (for example, an unknown application name reaching the
+     * registry) aborts the whole sweep: the first error is reported
+     * through RNUMA_FATAL after all workers have drained.
+     */
+    SweepResult run(const Sweep &sweep) const;
+
+    std::size_t jobs() const { return jobs_; }
+
+  private:
+    std::size_t jobs_;
+};
+
+/**
+ * Re-run @p sweep serially and assert each cell's RunStats is
+ * bit-identical to @p result (the `--verify` mode of the CLI; the
+ * driver tests use it across job counts).
+ */
+void verifySerialIdentical(const Sweep &sweep,
+                           const SweepResult &result);
+
+} // namespace rnuma::driver
+
+#endif // RNUMA_DRIVER_SWEEP_RUNNER_HH

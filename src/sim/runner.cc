@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "sim/machine.hh"
 
 namespace rnuma
@@ -68,6 +69,36 @@ compareProtocols(const Params &params, Workload &wl)
     c.ccNuma = runProtocol(params, Protocol::CCNuma, wl);
     c.sComa = runProtocol(params, Protocol::SComa, wl);
     c.rNuma = runProtocol(params, Protocol::RNuma, wl);
+    return c;
+}
+
+ProtocolComparison
+compareProtocols(const Params &params,
+                 const std::function<std::unique_ptr<Workload>()> &make,
+                 std::size_t jobs)
+{
+    RNUMA_ASSERT(make, "compareProtocols needs a workload factory");
+    ProtocolComparison c;
+    struct Task
+    {
+        RunStats *out;
+        Protocol protocol;
+        bool infinite;
+    };
+    const Task tasks[] = {
+        {&c.baseline, Protocol::CCNuma, true},
+        {&c.ccNuma, Protocol::CCNuma, false},
+        {&c.sComa, Protocol::SComa, false},
+        {&c.rNuma, Protocol::RNuma, false},
+    };
+
+    parallelFor(4, jobs, [&](std::size_t i) {
+        const Task &t = tasks[i];
+        Params p = params;
+        p.infiniteBlockCache = t.infinite;
+        std::unique_ptr<Workload> wl = make();
+        *t.out = runProtocol(p, t.protocol, *wl);
+    });
     return c;
 }
 

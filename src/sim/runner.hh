@@ -8,6 +8,9 @@
 #ifndef RNUMA_SIM_RUNNER_HH
 #define RNUMA_SIM_RUNNER_HH
 
+#include <functional>
+#include <memory>
+
 #include "common/params.hh"
 #include "common/stats.hh"
 #include "workload/workload.hh"
@@ -40,6 +43,18 @@ struct ProtocolComparison
 
 /** Run all four configurations back to back. */
 ProtocolComparison compareProtocols(const Params &params, Workload &wl);
+
+/**
+ * Run the four configurations concurrently on up to @p jobs threads
+ * (0 means hardware concurrency, as everywhere in this codebase).
+ * Each run gets its own workload from @p make, so the runs share no
+ * state; because the simulator is deterministic, the result is
+ * bit-identical to the serial compareProtocols() at any job count.
+ */
+ProtocolComparison
+compareProtocols(const Params &params,
+                 const std::function<std::unique_ptr<Workload>()> &make,
+                 std::size_t jobs);
 
 } // namespace rnuma
 

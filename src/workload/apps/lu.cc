@@ -25,7 +25,10 @@ std::unique_ptr<VectorWorkload>
 makeLu(const Params &p, double scale, std::uint64_t seed)
 {
     StreamBuilder b("lu", p, seed ^ 0x1004ULL);
-    const std::size_t grid = scaled(16, scale); // blocks per side
+    // Blocks per side. The elimination loops below need at least a
+    // 2x2 grid to emit any memory references (a 1x1 factorization
+    // has no perimeter or interior), so clamp there at tiny scales.
+    const std::size_t grid = scaled(16, scale, 2);
     const std::size_t mb = 8192;                // matrix block bytes
     const std::size_t mblocks = mb / p.blockSize;
 

@@ -25,7 +25,10 @@ std::unique_ptr<VectorWorkload>
 makeOcean(const Params &p, double scale, std::uint64_t seed)
 {
     StreamBuilder b("ocean", p, seed ^ 0x0cea0ULL);
-    const std::size_t rows = scaled(256, scale);
+    // One band row per CPU minimum: fewer rows than CPUs would send
+    // the upper bands (and the random column-edge reads) past the
+    // allocated grid.
+    const std::size_t rows = scaled(256, scale, b.ncpus());
     const std::size_t row_bytes = 2048; // 256 doubles
     const std::size_t arrays = 2;       // working grids
     const std::size_t coarse_pages = 100;

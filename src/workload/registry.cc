@@ -80,7 +80,13 @@ std::unique_ptr<VectorWorkload>
 makeApp(const std::string &name, const Params &p, double scale,
         std::uint64_t seed)
 {
-    return lookup(name).make(p, scale, seed);
+    auto wl = lookup(name).make(p, scale, seed);
+    // Every generator clamps its structure (see scaled()) so that it
+    // stays viable at any positive scale; a workload with zero loads
+    // and stores would silently turn every figure cell into a no-op.
+    RNUMA_ASSERT(wl->memRefCount() > 0, "application '", name,
+                 "' emitted no memory references at scale ", scale);
+    return wl;
 }
 
 } // namespace rnuma

@@ -57,11 +57,16 @@ StreamBuilder::finish()
 }
 
 std::size_t
-scaled(std::size_t v, double scale)
+scaled(std::size_t v, double scale, std::size_t min)
 {
+    if (scale <= 0) {
+        RNUMA_FATAL("workload scale must be positive, got ", scale);
+    }
+    if (min == 0)
+        min = 1;
     double s = static_cast<double>(v) * scale;
     std::size_t r = static_cast<std::size_t>(std::llround(s));
-    return r == 0 ? 1 : r;
+    return r < min ? min : r;
 }
 
 } // namespace rnuma

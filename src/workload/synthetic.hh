@@ -76,10 +76,13 @@ class StreamBuilder
 };
 
 /**
- * Apply the conventional scale factor: max(1, round(v * scale)).
- * Generators use it to shrink inputs for fast unit tests.
+ * Apply the conventional scale factor: max(min, round(v * scale)).
+ * Generators use it to shrink inputs for fast unit tests, passing a
+ * @p min large enough to keep their iteration structure viable (for
+ * example, lu needs a block grid of at least 2x2 to emit any memory
+ * references). Fatal on scale <= 0.
  */
-std::size_t scaled(std::size_t v, double scale);
+std::size_t scaled(std::size_t v, double scale, std::size_t min = 1);
 
 } // namespace rnuma
 

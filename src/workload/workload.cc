@@ -36,6 +36,8 @@ VectorWorkload::push(CpuId cpu, Ref r)
 {
     RNUMA_ASSERT(cpu < streams.size(), "bad cpu ", cpu);
     RNUMA_ASSERT(!sealed, "cannot push after seal()");
+    if (r.kind == RefKind::Mem)
+        mem_refs++;
     streams[cpu].push_back(r);
 }
 

@@ -99,10 +99,18 @@ class VectorWorkload : public Workload
     /** Total entries across all CPUs. */
     std::size_t totalRefs() const;
 
+    /**
+     * Loads and stores only (no barriers, init touches, or End
+     * markers). Every generator must emit at least one at any
+     * scale > 0; the registry asserts it.
+     */
+    std::size_t memRefCount() const { return mem_refs; }
+
   private:
     std::string name_;
     std::vector<std::vector<Ref>> streams;
     std::vector<std::size_t> cursor;
+    std::size_t mem_refs = 0;
     bool sealed = false;
 
     static const Ref endRef;

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the sweep driver (src/driver): serial-vs-parallel
+ * RunStats determinism across thread counts, JSON round-trip of a
+ * small executed sweep, sweep declaration invariants, and the
+ * unknown-app / empty-sweep error paths. Uses the tiny test_util.hh
+ * machine so the suites stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/figures.hh"
+#include "driver/json.hh"
+#include "driver/result_sink.hh"
+#include "driver/sweep.hh"
+#include "driver/sweep_runner.hh"
+#include "workload/micro.hh"
+
+#include "test_util.hh"
+
+namespace rnuma::driver
+{
+
+namespace
+{
+
+constexpr double testScale = 0.05;
+
+/** A small multi-app, multi-protocol sweep on the tiny machine. */
+Sweep
+smallSweep()
+{
+    Sweep s("small", "driver test sweep", "none");
+    Params p = test::smallParams();
+    for (const char *app : {"moldyn", "radix", "em3d"}) {
+        s.addBaseline(app, p, testScale);
+        s.addApp(app, "ccnuma", p, Protocol::CCNuma, testScale);
+        s.addApp(app, "scoma", p, Protocol::SComa, testScale);
+        s.addApp(app, "rnuma", p, Protocol::RNuma, testScale);
+    }
+    return s;
+}
+
+FigureRun
+wrap(const Sweep &s, SweepResult r)
+{
+    FigureRun run;
+    run.name = s.name();
+    run.title = s.title();
+    run.paperRef = s.paperRef();
+    run.scale = testScale;
+    run.jobs = 1;
+    run.result = std::move(r);
+    return run;
+}
+
+} // namespace
+
+TEST(SweepDecl, RejectsDuplicateCellAndMissingFactory)
+{
+    Sweep s("dup", "", "");
+    Params p = test::smallParams();
+    s.addApp("moldyn", "ccnuma", p, Protocol::CCNuma, testScale);
+    EXPECT_THROW(
+        s.addApp("moldyn", "ccnuma", p, Protocol::SComa, testScale),
+        std::runtime_error);
+    EXPECT_THROW(s.add({"x", "y", Protocol::CCNuma, p, nullptr}),
+                 std::logic_error);
+}
+
+TEST(SweepRunnerTest, EmptySweepYieldsEmptyResultOnAnyJobCount)
+{
+    Sweep s("empty", "", "");
+    for (std::size_t jobs : {1u, 4u}) {
+        SweepResult r = SweepRunner(jobs).run(s);
+        EXPECT_TRUE(r.cells.empty());
+    }
+}
+
+TEST(SweepRunnerTest, UnknownAppFailsTheSweepOnAnyJobCount)
+{
+    Sweep s("bad", "", "");
+    Params p = test::smallParams();
+    s.addApp("no-such-app", "ccnuma", p, Protocol::CCNuma,
+             testScale);
+    s.addApp("moldyn", "ccnuma", p, Protocol::CCNuma, testScale);
+    // Serially the registry's fatal surfaces directly; in parallel
+    // the pool catches it and rethrows after draining.
+    EXPECT_THROW(SweepRunner(1).run(s), std::runtime_error);
+    EXPECT_THROW(SweepRunner(4).run(s), std::runtime_error);
+}
+
+TEST(SweepRunnerTest, ResultsKeepCellOrderAndLabels)
+{
+    Sweep s = smallSweep();
+    SweepResult r = SweepRunner(2).run(s);
+    ASSERT_EQ(r.cells.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(r.cells[i].app, s.cells()[i].app);
+        EXPECT_EQ(r.cells[i].config, s.cells()[i].config);
+        EXPECT_GT(r.cells[i].stats.refs, 0u);
+    }
+    EXPECT_NE(r.find("moldyn", "rnuma"), nullptr);
+    EXPECT_EQ(r.find("moldyn", "no-such-config"), nullptr);
+    EXPECT_THROW(r.at("moldyn", "no-such-config"),
+                 std::runtime_error);
+}
+
+TEST(SweepRunnerTest, BitIdenticalStatsAcrossThreadCounts)
+{
+    Sweep s = smallSweep();
+    SweepResult serial = SweepRunner(1).run(s);
+    for (std::size_t jobs : {2u, 4u, 8u}) {
+        SweepResult parallel = SweepRunner(jobs).run(s);
+        ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+        for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+            EXPECT_EQ(serial.cells[i].stats,
+                      parallel.cells[i].stats)
+                << "cell " << serial.cells[i].app << "/"
+                << serial.cells[i].config << " at jobs=" << jobs;
+        }
+        // The library's own assertion agrees.
+        EXPECT_NO_THROW(verifySerialIdentical(s, parallel));
+    }
+}
+
+TEST(SweepRunnerTest, VerifyDetectsTamperedStats)
+{
+    Sweep s = smallSweep();
+    SweepResult r = SweepRunner(1).run(s);
+    r.cells[3].stats.ticks += 1;
+    EXPECT_THROW(verifySerialIdentical(s, r), std::logic_error);
+}
+
+TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
+{
+    Sweep s = smallSweep();
+    FigureRun run = wrap(s, SweepRunner(2).run(s));
+
+    std::ostringstream os;
+    JsonSink().write(os, {run});
+    JsonValue doc = parseJson(os.str());
+
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_NE(doc.get("schema"), nullptr);
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v1");
+
+    const JsonValue *figures = doc.get("figures");
+    ASSERT_NE(figures, nullptr);
+    ASSERT_TRUE(figures->isArray());
+    ASSERT_EQ(figures->array.size(), 1u);
+
+    const JsonValue &fig = figures->array[0];
+    EXPECT_EQ(fig.get("name")->str, "small");
+    const JsonValue *cells = fig.get("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->array.size(), run.result.cells.size());
+
+    // Every serialized counter round-trips exactly (the values fit a
+    // double at test scale).
+    for (std::size_t i = 0; i < cells->array.size(); ++i) {
+        const JsonValue &jc = cells->array[i];
+        const CellResult &cc = run.result.cells[i];
+        EXPECT_EQ(jc.get("app")->str, cc.app);
+        EXPECT_EQ(jc.get("config")->str, cc.config);
+        const JsonValue *stats = jc.get("stats");
+        ASSERT_NE(stats, nullptr);
+        for (const StatField &f : statFields()) {
+            const JsonValue *v = stats->get(f.name);
+            ASSERT_NE(v, nullptr) << f.name;
+            EXPECT_EQ(static_cast<std::uint64_t>(v->number),
+                      f.get(cc.stats))
+                << cc.app << "/" << cc.config << " " << f.name;
+        }
+    }
+}
+
+TEST(JsonRoundTrip, CsvHasHeaderPlusOneRowPerCell)
+{
+    Sweep s = smallSweep();
+    FigureRun run = wrap(s, SweepRunner(1).run(s));
+    std::ostringstream os;
+    CsvSink().write(os, {run});
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line))
+        lines++;
+    EXPECT_EQ(lines, 1 + run.result.cells.size());
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+    EXPECT_THROW(parseJson("{"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2,]"), std::runtime_error);
+    EXPECT_THROW(parseJson("{} trailing"), std::runtime_error);
+    EXPECT_THROW(parseJson("nul"), std::runtime_error);
+    EXPECT_THROW(parseJson("1.2.3"), std::runtime_error);
+    EXPECT_THROW(parseJson("12e4e2"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1-2]"), std::runtime_error);
+}
+
+TEST(JsonParser, HandlesEscapesAndNumbers)
+{
+    JsonValue v = parseJson(
+        "{\"s\": \"a\\\"b\\\\c\\n\\u0041\", \"n\": -1.5e2, "
+        "\"b\": true, \"z\": null, \"arr\": [1, 2, 3]}");
+    EXPECT_EQ(v.get("s")->str, "a\"b\\c\nA");
+    EXPECT_DOUBLE_EQ(v.get("n")->number, -150.0);
+    EXPECT_TRUE(v.get("b")->boolean);
+    EXPECT_EQ(v.get("z")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.get("arr")->array.size(), 3u);
+    // Round-trip through the writer's escaping.
+    EXPECT_EQ(jsonQuote("a\"b\\c\n\t"),
+              "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(FigureRegistry, HasAllTenFiguresWithUniqueNames)
+{
+    const auto &specs = figureSpecs();
+    EXPECT_EQ(specs.size(), 10u);
+    for (const FigureSpec &a : specs) {
+        std::size_t count = 0;
+        for (const FigureSpec &b : specs)
+            if (std::string(a.name) == b.name)
+                count++;
+        EXPECT_EQ(count, 1u) << a.name;
+        EXPECT_EQ(findFigure(a.name), &a);
+    }
+    EXPECT_EQ(findFigure("no-such-figure"), nullptr);
+}
+
+TEST(FigureRegistry, SweepsBuildLazilyWithExpectedShapes)
+{
+    // Building a sweep generates no workloads, so even full-figure
+    // sweeps are cheap to enumerate here.
+    EXPECT_EQ(findFigure("fig6")->build(testScale).size(), 40u);
+    EXPECT_EQ(findFigure("fig7")->build(testScale).size(), 60u);
+    EXPECT_EQ(findFigure("fig8")->build(testScale).size(), 40u);
+    EXPECT_EQ(findFigure("fig9")->build(testScale).size(), 50u);
+    EXPECT_EQ(findFigure("fig5")->build(testScale).size(), 10u);
+    EXPECT_EQ(findFigure("table4")->build(testScale).size(), 30u);
+    EXPECT_EQ(findFigure("table2")->build(testScale).size(), 0u);
+    EXPECT_EQ(findFigure("eq3")->build(testScale).size(), 4u);
+    EXPECT_EQ(findFigure("ablation")->build(testScale).size(), 30u);
+    EXPECT_EQ(findFigure("micro")->build(testScale).size(), 16u);
+}
+
+TEST(FigureRegistry, Table2RendersAndPasses)
+{
+    const FigureSpec *spec = findFigure("table2");
+    ASSERT_NE(spec, nullptr);
+    FigureRun run = runFigure(*spec, 1.0, 2, /*verify=*/true);
+    std::ostringstream os;
+    EXPECT_EQ(renderFigure(*spec, run, os), 0);
+    EXPECT_NE(os.str().find("PASS"), std::string::npos);
+}
+
+TEST(FigureRegistry, MicroFigureRunsVerifiedAndRenders)
+{
+    const FigureSpec *spec = findFigure("micro");
+    ASSERT_NE(spec, nullptr);
+    FigureRun run = runFigure(*spec, 0.02, 4, /*verify=*/true);
+    EXPECT_EQ(run.result.cells.size(), 16u);
+    std::ostringstream os;
+    EXPECT_EQ(renderFigure(*spec, run, os), 0);
+    EXPECT_NE(os.str().find("private-loop"), std::string::npos);
+}
+
+} // namespace rnuma::driver

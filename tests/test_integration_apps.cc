@@ -77,7 +77,10 @@ TEST_P(AppIntegration, SeedChangesStreamButStaysValid)
 INSTANTIATE_TEST_SUITE_P(
     AllApps, AppIntegration,
     ::testing::Values("barnes", "cholesky", "em3d", "fft", "fmm",
-                      "lu", "moldyn", "ocean", "radix", "raytrace"));
+                      "lu", "moldyn", "ocean", "radix", "raytrace"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
 
 TEST(Registry, NamesMatchTable3)
 {

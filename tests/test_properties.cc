@@ -189,6 +189,15 @@ INSTANTIATE_TEST_SUITE_P(
                                          "radix", "ocean"),
                        ::testing::Values(Protocol::CCNuma,
                                          Protocol::SComa,
-                                         Protocol::RNuma)));
+                                         Protocol::RNuma)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, Protocol>> &info) {
+        // Readable, filterable names: barnes_CCNuma, radix_RNuma...
+        const char *proto =
+            std::get<1>(info.param) == Protocol::CCNuma ? "CCNuma"
+            : std::get<1>(info.param) == Protocol::SComa ? "SComa"
+                                                         : "RNuma";
+        return std::get<0>(info.param) + "_" + proto;
+    });
 
 } // namespace rnuma

@@ -21,10 +21,17 @@ namespace rnuma
 namespace
 {
 
-// Tiny inputs: smoke, not soak. 0.1 is the floor at which every
-// generator still emits real references (lu's blocked factorization
-// needs a grid of at least 2x2 blocks).
+// Tiny inputs: smoke, not soak. Generators clamp their structure
+// (see scaled()), so any positive scale is viable; 0.1 keeps the
+// streams representative.
 constexpr double smokeScale = 0.1;
+
+/** Name parameterized cases by app, so --gtest_filter=*barnes* works. */
+std::string
+appTestName(const ::testing::TestParamInfo<std::string> &info)
+{
+    return info.param;
+}
 
 } // namespace
 
@@ -61,11 +68,26 @@ TEST_P(AppSmoke, FourWayComparisonOnSmallMachine)
     EXPECT_LE(cmp.bestOfBase(), cmp.normSC());
 }
 
+// Regression for the scale floor: generators used to degenerate
+// below scale 0.1 (lu's grid collapsed to 1x1 and emitted zero
+// memory references). Every app must now produce a simulatable
+// stream at scale 0.01.
+TEST_P(AppSmoke, StaysViableAtHundredthScale)
+{
+    Params p = test::smallParams();
+    auto wl = makeApp(GetParam(), p, 0.01);
+    EXPECT_GT(wl->memRefCount(), 0u);
+    RunStats s = runProtocol(p, Protocol::RNuma, *wl);
+    EXPECT_GT(s.refs, 0u);
+    EXPECT_GT(s.ticks, 0u);
+}
+
 // Instantiating from the registry itself keeps the smoke suite in
 // lockstep with the registered app set — a new or renamed app is
 // covered (or surfaced) automatically.
 INSTANTIATE_TEST_SUITE_P(AllApps, AppSmoke,
-                         ::testing::ValuesIn(appNames()));
+                         ::testing::ValuesIn(appNames()),
+                         appTestName);
 
 // Table 3 has exactly ten applications.
 TEST(AppSmoke, RegistryHasAllTableThreeApps)

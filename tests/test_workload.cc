@@ -107,4 +107,32 @@ TEST(StreamBuilder, ScaledHelper)
     EXPECT_EQ(scaled(3, 0.01), 1u); // never below one
 }
 
+TEST(StreamBuilder, ScaledClampsToStructuralMinimum)
+{
+    // Generators pass the smallest structure their loops need (for
+    // example lu's 2x2 block grid), which wins over the scale...
+    EXPECT_EQ(scaled(16, 0.01, 2), 2u);
+    EXPECT_EQ(scaled(256, 0.001, 32), 32u);
+    // ...but never shrinks a large enough value.
+    EXPECT_EQ(scaled(16, 1.0, 2), 16u);
+    EXPECT_EQ(scaled(16, 0.5, 0), 8u); // min 0 behaves as 1
+    // Non-positive scales are configuration errors (fatal), not
+    // clamps.
+    EXPECT_THROW(scaled(16, 0.0), std::runtime_error);
+    EXPECT_THROW(scaled(16, -1.0), std::runtime_error);
+}
+
+TEST(VectorWorkload, MemRefCountCountsOnlyLoadsAndStores)
+{
+    VectorWorkload wl("w", 2);
+    EXPECT_EQ(wl.memRefCount(), 0u);
+    wl.push(0, Ref::touchOf(0));
+    wl.pushBarrierAll();
+    EXPECT_EQ(wl.memRefCount(), 0u);
+    wl.push(0, Ref::mem(0, false, 1));
+    wl.push(1, Ref::mem(64, true, 1));
+    wl.seal();
+    EXPECT_EQ(wl.memRefCount(), 2u);
+}
+
 } // namespace rnuma

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * rnuma_sweep: run any paper figure/table by name through the
+ * thread-parallel sweep driver and emit human tables plus
+ * machine-readable JSON/CSV results.
+ *
+ * Usage: rnuma_sweep [options] <figure>... | all
+ *   --list           print the known figure names and exit
+ *   --scale S        workload scale (default: RNUMA_BENCH_SCALE or 1)
+ *   --jobs N         worker threads; 0 = hardware concurrency
+ *                    (default 1)
+ *   --json-out FILE  write results as rnuma-sweep-results/v1 JSON
+ *   --csv-out FILE   write results as flat CSV
+ *   --verify         re-run each sweep serially and assert
+ *                    bit-identical RunStats
+ *   --quiet          suppress the per-figure human tables
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "driver/figures.hh"
+#include "driver/json.hh"
+#include "driver/result_sink.hh"
+
+namespace
+{
+
+using namespace rnuma;
+using namespace rnuma::driver;
+
+int
+usage(std::ostream &os, int status)
+{
+    os << "usage: rnuma_sweep [options] <figure>... | all\n"
+          "  --list           list figure names\n"
+          "  --scale S        workload scale (default: "
+          "RNUMA_BENCH_SCALE or 1)\n"
+          "  --jobs N         worker threads (0 = hardware "
+          "concurrency; default 1)\n"
+          "  --json-out FILE  write rnuma-sweep-results/v1 JSON\n"
+          "  --csv-out FILE   write flat CSV\n"
+          "  --verify         assert serial/parallel RunStats are "
+          "bit-identical\n"
+          "  --quiet          suppress human-readable tables\n";
+    return status;
+}
+
+void
+listFigures(std::ostream &os)
+{
+    for (const FigureSpec &s : figureSpecs())
+        os << s.name << "\t" << s.title << "\n";
+}
+
+/** Serialize, then re-parse as a malformed-output guard. */
+bool
+emitJson(const std::string &path,
+         const std::vector<FigureRun> &runs)
+{
+    std::ostringstream buf;
+    JsonSink().write(buf, runs);
+    std::string text = buf.str();
+    try {
+        JsonValue doc = parseJson(text);
+        const JsonValue *figures = doc.get("figures");
+        if (!figures || !figures->isArray() ||
+            figures->array.size() != runs.size())
+            throw std::runtime_error("figure count mismatch");
+    } catch (const std::exception &e) {
+        std::cerr << "rnuma_sweep: emitted JSON failed validation: "
+                  << e.what() << "\n";
+        return false;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "rnuma_sweep: cannot write " << path << "\n";
+        return false;
+    }
+    out << text;
+    std::cout << "wrote " << path << " (" << runs.size()
+              << " figures, validated)\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = envScale();
+    std::size_t jobs = 1;
+    std::string json_out;
+    std::string csv_out;
+    bool verify = false;
+    bool quiet = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "rnuma_sweep: " << arg
+                          << " needs an argument\n";
+                std::exit(usage(std::cerr, 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        else if (arg == "--list")
+            return (listFigures(std::cout), 0);
+        else if (arg == "--scale") {
+            const char *val = next();
+            char *end = nullptr;
+            scale = std::strtod(val, &end);
+            if (end == val || *end != '\0' || scale <= 0) {
+                std::cerr << "rnuma_sweep: --scale wants a positive "
+                             "number, got '" << val << "'\n";
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            const char *val = next();
+            char *end = nullptr;
+            long j = std::strtol(val, &end, 10);
+            if (end == val || *end != '\0' || j < 0) {
+                std::cerr << "rnuma_sweep: --jobs wants a "
+                             "non-negative integer (0 = all cores), "
+                             "got '" << val << "'\n";
+                return 2;
+            }
+            jobs = static_cast<std::size_t>(j);
+        }
+        else if (arg == "--json-out")
+            json_out = next();
+        else if (arg == "--csv-out")
+            csv_out = next();
+        else if (arg == "--verify")
+            verify = true;
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (!arg.empty() && arg[0] == '-')
+            return usage(std::cerr, 2);
+        else
+            names.push_back(arg);
+    }
+    if (names.empty())
+        return usage(std::cerr, 2);
+    if (names.size() == 1 && names[0] == "all") {
+        names.clear();
+        for (const FigureSpec &s : figureSpecs())
+            names.push_back(s.name);
+    }
+
+    std::vector<const FigureSpec *> specs;
+    for (const std::string &n : names) {
+        const FigureSpec *s = findFigure(n);
+        if (!s) {
+            std::cerr << "rnuma_sweep: unknown figure '" << n
+                      << "' (see --list)\n";
+            return 2;
+        }
+        specs.push_back(s);
+    }
+
+    int status = 0;
+    std::vector<FigureRun> runs;
+    runs.reserve(specs.size());
+    for (const FigureSpec *spec : specs) {
+        FigureRun run = runFigure(*spec, scale, jobs, verify);
+        std::ostringstream table;
+        int rc = renderFigure(*spec, run, table);
+        if (!quiet) {
+            std::cout << "==== " << run.name << ": " << run.title
+                      << "\n     " << run.paperRef << "\n     scale "
+                      << run.scale << ", jobs " << run.jobs << ", "
+                      << run.result.cells.size() << " cells, "
+                      << Table::num(run.wallMs) << " ms"
+                      << (verify && run.jobs > 1
+                              ? ", serial/parallel verified" : "")
+                      << "\n\n"
+                      << table.str() << "\n";
+        }
+        if (rc > status)
+            status = rc;
+        runs.push_back(std::move(run));
+    }
+
+    if (!json_out.empty() && !emitJson(json_out, runs))
+        status = status > 1 ? status : 1;
+    if (!csv_out.empty()) {
+        std::ofstream out(csv_out);
+        if (!out) {
+            std::cerr << "rnuma_sweep: cannot write " << csv_out
+                      << "\n";
+            status = status > 1 ? status : 1;
+        } else {
+            CsvSink().write(out, runs);
+            std::cout << "wrote " << csv_out << "\n";
+        }
+    }
+    return status;
+}
