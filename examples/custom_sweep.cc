@@ -37,12 +37,14 @@ main(int argc, char **argv)
     Sweep sweep("threshold-x-pagecache",
                 "R-NUMA threshold vs page-cache size", "custom");
     Params base = Params::base();
-    // One shared factory: every cell measures the identical trace,
-    // generated once per cell from the base machine's geometry.
+    // One shared factory and one shared cache key: every cell
+    // measures the identical trace, and the runner's workload cache
+    // generates it exactly once for the whole grid.
     WorkloadFactory make = appFactory(app, base, scale);
+    std::string key = workloadCacheKey(app, base, scale);
     Params inf = base;
     inf.infiniteBlockCache = true;
-    sweep.add({app, "baseline", Protocol::CCNuma, inf, make});
+    sweep.add({app, "baseline", Protocol::CCNuma, inf, make, key});
     for (std::size_t T : thresholds) {
         for (std::size_t kb : cache_kb) {
             Params p = base;
@@ -51,7 +53,7 @@ main(int argc, char **argv)
             sweep.add({app,
                        "t" + std::to_string(T) + "-p" +
                            std::to_string(kb) + "k",
-                       Protocol::RNuma, p, make});
+                       Protocol::RNuma, p, make, key});
         }
     }
 
@@ -59,6 +61,9 @@ main(int argc, char **argv)
     std::cout << "running " << sweep.size() << " cells for " << app
               << " on " << runner.jobs() << " threads...\n\n";
     SweepResult result = runner.run(sweep);
+    std::cout << result.workloadsGenerated
+              << " workload generated, " << result.workloadCacheHits
+              << " cells served from the cache\n";
 
     Tick ideal = result.at(app, "baseline").stats.ticks;
     Table t({"threshold \\ page cache", "160KB", "320KB", "1280KB"});

@@ -36,6 +36,45 @@ Params::soft()
     return p;
 }
 
+std::uint64_t
+Params::fingerprint() const
+{
+    // splitmix-style accumulation; order fixed by this listing.
+    std::uint64_t h = 0x524e554d41ULL; // "RNUMA"
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    };
+    mix(numNodes);
+    mix(cpusPerNode);
+    mix(blockSize);
+    mix(pageSize);
+    mix(l1Size);
+    mix(l1Assoc);
+    mix(blockCacheSize);
+    mix(blockCacheAssoc);
+    mix(infiniteBlockCache ? 1 : 0);
+    mix(rnumaBlockCacheSize);
+    mix(pageCacheSize);
+    mix(relocationThreshold);
+    mix(priorOwnerState ? 1 : 0);
+    mix(sramAccess);
+    mix(dramAccess);
+    mix(busLatency);
+    mix(busOccupancy);
+    mix(radOccupancy);
+    mix(niOccupancy);
+    mix(netLatency);
+    mix(dirAccess);
+    mix(softTrap);
+    mix(tlbShootdown);
+    mix(pageSetup);
+    mix(blockFlush);
+    mix(barrierCost);
+    return h;
+}
+
 void
 Params::validate() const
 {

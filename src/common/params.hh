@@ -151,6 +151,15 @@ struct Params
             blockFlush * static_cast<Tick>(valid_blocks);
     }
 
+    /**
+     * Stable hash over every field. The sweep driver's
+     * content-addressed workload cache keys generated workloads by
+     * (fingerprint, app, scale, seed); any parameter change — even to
+     * fields a given generator ignores — yields a fresh key, so the
+     * cache can never serve a stale stream.
+     */
+    std::uint64_t fingerprint() const;
+
     //--- Factories --------------------------------------------------------
     /** The paper's base system (Section 4). */
     static Params base();

@@ -70,6 +70,7 @@ void
 RunStats::print(std::ostream &os) const
 {
     os << "ticks=" << ticks
+       << " events=" << events
        << " refs=" << refs
        << " l1Hits=" << l1Hits
        << " l1Misses=" << l1Misses
@@ -102,7 +103,8 @@ operator==(const PageStats &a, const PageStats &b)
 bool
 operator==(const RunStats &a, const RunStats &b)
 {
-    return a.ticks == b.ticks && a.refs == b.refs &&
+    return a.ticks == b.ticks && a.events == b.events &&
+        a.refs == b.refs &&
         a.l1Hits == b.l1Hits && a.l1Misses == b.l1Misses &&
         a.upgrades == b.upgrades && a.barriers == b.barriers &&
         a.localFills == b.localFills &&

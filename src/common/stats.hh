@@ -52,6 +52,13 @@ struct RunStats
     /** Simulated execution time (max CPU completion tick). */
     Tick ticks = 0;
 
+    /**
+     * Discrete events processed by the scheduler during the run (the
+     * denominator of the events-per-second throughput the perf gate
+     * tracks). Deterministic, so it participates in bit-identity.
+     */
+    std::uint64_t events = 0;
+
     //--- Reference-stream counters --------------------------------------
     std::uint64_t refs = 0;        ///< memory references issued
     std::uint64_t l1Hits = 0;      ///< satisfied by the local L1

@@ -1,0 +1,233 @@
+#include "driver/compare.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "driver/json.hh"
+
+namespace rnuma::driver
+{
+
+namespace
+{
+
+/**
+ * Scales match when equal to ~6 significant digits: pre-v2 baselines
+ * were serialized with %.6g, so exact double equality would reject a
+ * baseline recorded by the very same command line.
+ */
+bool
+sameScale(double a, double b)
+{
+    double mag = std::fabs(a) > std::fabs(b) ? std::fabs(a)
+                                             : std::fabs(b);
+    return std::fabs(a - b) <= mag * 1e-5;
+}
+
+double
+numberOr(const JsonValue *v, double fallback)
+{
+    return v && v->kind == JsonValue::Kind::Number ? v->number
+                                                   : fallback;
+}
+
+std::string
+stringOr(const JsonValue *v, const std::string &fallback)
+{
+    return v && v->kind == JsonValue::Kind::String ? v->str
+                                                   : fallback;
+}
+
+} // namespace
+
+const ResultCell *
+ResultFigure::find(const std::string &app,
+                   const std::string &config) const
+{
+    for (const ResultCell &c : cells)
+        if (c.app == app && c.config == config)
+            return &c;
+    return nullptr;
+}
+
+const ResultFigure *
+ResultDoc::find(const std::string &name) const
+{
+    for (const ResultFigure &f : figures)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+ResultDoc
+loadResults(const std::string &json_text)
+{
+    JsonValue doc = parseJson(json_text);
+    ResultDoc out;
+    out.schema = stringOr(doc.get("schema"), "");
+    if (out.schema.rfind("rnuma-sweep-results/", 0) != 0)
+        throw std::runtime_error(
+            "not an rnuma-sweep-results document (schema '" +
+            out.schema + "')");
+    const JsonValue *figures = doc.get("figures");
+    if (!figures || !figures->isArray())
+        throw std::runtime_error("missing 'figures' array");
+    for (const JsonValue &jf : figures->array) {
+        ResultFigure f;
+        f.name = stringOr(jf.get("name"), "?");
+        f.scale = numberOr(jf.get("scale"), 1.0);
+        f.jobs = static_cast<std::size_t>(
+            numberOr(jf.get("jobs"), 1));
+        f.wallMs = numberOr(jf.get("wall_ms"), 0);
+        const JsonValue *cells = jf.get("cells");
+        if (cells && cells->isArray()) {
+            for (const JsonValue &jc : cells->array) {
+                ResultCell c;
+                c.app = stringOr(jc.get("app"), "?");
+                c.config = stringOr(jc.get("config"), "?");
+                c.wallMs = numberOr(jc.get("wall_ms"), 0);
+                const JsonValue *stats = jc.get("stats");
+                if (stats) {
+                    c.ticks = static_cast<std::uint64_t>(
+                        numberOr(stats->get("ticks"), 0));
+                    const JsonValue *ev = stats->get("events");
+                    if (ev) {
+                        c.events = static_cast<std::uint64_t>(
+                            numberOr(ev, 0));
+                        c.hasEvents = true;
+                    }
+                }
+                f.cells.push_back(std::move(c));
+            }
+        }
+        out.figures.push_back(std::move(f));
+    }
+    return out;
+}
+
+ResultDoc
+resultsOf(const std::vector<FigureRun> &runs)
+{
+    ResultDoc out;
+    out.schema = "rnuma-sweep-results/v2";
+    for (const FigureRun &run : runs) {
+        ResultFigure f;
+        f.name = run.name;
+        f.scale = run.scale;
+        f.jobs = run.jobs;
+        f.wallMs = run.wallMs;
+        for (const CellResult &c : run.result.cells) {
+            ResultCell rc;
+            rc.app = c.app;
+            rc.config = c.config;
+            rc.ticks = c.stats.ticks;
+            rc.events = c.stats.events;
+            rc.hasEvents = true;
+            rc.wallMs = c.wallMs;
+            f.cells.push_back(std::move(rc));
+        }
+        out.figures.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::size_t
+compareResults(const ResultDoc &baseline, const ResultDoc &current,
+               const CompareOptions &opt, std::ostream &os)
+{
+    std::size_t violations = 0;
+    auto fail = [&](const std::string &msg) {
+        violations++;
+        os << "FAIL: " << msg << "\n";
+    };
+
+    for (const ResultFigure &bf : baseline.figures) {
+        const ResultFigure *cf = current.find(bf.name);
+        if (!cf) {
+            fail(bf.name + ": figure missing from current results");
+            continue;
+        }
+        if (!sameScale(bf.scale, cf->scale)) {
+            fail(bf.name + ": scale changed (baseline " +
+                 std::to_string(bf.scale) + ", current " +
+                 std::to_string(cf->scale) +
+                 "); ticks are not comparable — re-record the "
+                 "baseline");
+            continue;
+        }
+
+        std::size_t figure_drift = 0;
+        for (const ResultCell &bc : bf.cells) {
+            const ResultCell *cc = cf->find(bc.app, bc.config);
+            if (!cc) {
+                fail(bf.name + "/" + bc.app + "/" + bc.config +
+                     ": cell missing from current results");
+                continue;
+            }
+            if (bc.ticks != cc->ticks) {
+                fail(bf.name + "/" + bc.app + "/" + bc.config +
+                     ": ticks drifted (baseline " +
+                     std::to_string(bc.ticks) + ", current " +
+                     std::to_string(cc->ticks) + ")");
+                figure_drift++;
+            }
+            if (bc.hasEvents && cc->hasEvents &&
+                bc.events != cc->events) {
+                fail(bf.name + "/" + bc.app + "/" + bc.config +
+                     ": events drifted (baseline " +
+                     std::to_string(bc.events) + ", current " +
+                     std::to_string(cc->events) + ")");
+                figure_drift++;
+            }
+        }
+        for (const ResultCell &cc : cf->cells) {
+            if (!bf.find(cc.app, cc.config))
+                os << "note: " << bf.name << "/" << cc.app << "/"
+                   << cc.config << " is new (not in baseline)\n";
+        }
+
+        if (opt.wallTolerancePct < 0) {
+            // determinism-only mode
+        } else if (bf.jobs != cf->jobs) {
+            os << "note: " << bf.name
+               << ": wall-time check skipped (baseline ran with "
+               << bf.jobs << " jobs, current with " << cf->jobs
+               << ")\n";
+        } else if (bf.wallMs > 0) {
+            double limit =
+                bf.wallMs * (1.0 + opt.wallTolerancePct / 100.0);
+            double delta_pct =
+                (cf->wallMs / bf.wallMs - 1.0) * 100.0;
+            if (cf->wallMs > limit) {
+                fail(bf.name + ": wall time regressed " +
+                     std::to_string(delta_pct) + "% (baseline " +
+                     std::to_string(bf.wallMs) + " ms, current " +
+                     std::to_string(cf->wallMs) +
+                     " ms, tolerance " +
+                     std::to_string(opt.wallTolerancePct) + "%)");
+            } else {
+                os << "ok:   " << bf.name << ": wall "
+                   << cf->wallMs << " ms vs baseline " << bf.wallMs
+                   << " ms (" << (delta_pct >= 0 ? "+" : "")
+                   << delta_pct << "%)"
+                   << (figure_drift == 0 ? ", ticks identical"
+                                         : "")
+                   << "\n";
+            }
+        }
+    }
+    for (const ResultFigure &cf : current.figures) {
+        if (!baseline.find(cf.name))
+            os << "note: figure " << cf.name
+               << " is new (not in baseline)\n";
+    }
+
+    os << (violations == 0 ? "compare: PASS"
+                           : "compare: FAIL (" +
+                                 std::to_string(violations) +
+                                 " violation(s))")
+       << "\n";
+    return violations;
+}
+
+} // namespace rnuma::driver

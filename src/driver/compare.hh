@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The perf-baseline regression gate: diff two rnuma-sweep-results
+ * documents (a stored baseline vs the current run). Simulated
+ * per-cell `ticks` and `events` are deterministic, so any drift is a
+ * hard failure; host wall time is noisy, so it fails only beyond a
+ * percentage tolerance. Consumed by `rnuma_sweep --compare` and the
+ * CI perf-gate job (workflow: .github/workflows/ci.yml; workflow
+ * docs: docs/PERFORMANCE.md).
+ */
+
+#ifndef RNUMA_DRIVER_COMPARE_HH
+#define RNUMA_DRIVER_COMPARE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/result_sink.hh"
+
+namespace rnuma::driver
+{
+
+/** The comparable slice of one serialized cell. */
+struct ResultCell
+{
+    std::string app;
+    std::string config;
+    std::uint64_t ticks = 0;
+    /** Scheduler events; hasEvents false for v1 baselines. */
+    std::uint64_t events = 0;
+    bool hasEvents = false;
+    double wallMs = 0;
+};
+
+/** The comparable slice of one serialized figure. */
+struct ResultFigure
+{
+    std::string name;
+    double scale = 1.0;
+    std::size_t jobs = 1;
+    double wallMs = 0;
+    std::vector<ResultCell> cells;
+
+    const ResultCell *find(const std::string &app,
+                           const std::string &config) const;
+};
+
+/** A parsed results document (either schema version). */
+struct ResultDoc
+{
+    std::string schema;
+    std::vector<ResultFigure> figures;
+
+    const ResultFigure *find(const std::string &name) const;
+};
+
+/**
+ * Extract the comparable slice from a parsed rnuma-sweep-results
+ * document (v1 or v2). Throws std::runtime_error on documents that
+ * are not sweep results at all.
+ */
+ResultDoc loadResults(const std::string &json_text);
+
+/** Build the comparable slice directly from executed figures. */
+ResultDoc resultsOf(const std::vector<FigureRun> &runs);
+
+/** Tuning for compareResults. */
+struct CompareOptions
+{
+    /**
+     * Allowed per-figure wall-time growth, in percent (e.g. 25 means
+     * "fail when >1.25x the baseline"). Negative disables the
+     * wall-time check entirely (determinism checks always run).
+     */
+    double wallTolerancePct = 25.0;
+};
+
+/**
+ * Diff @p current against @p baseline, writing a per-figure report
+ * to @p os. Returns the number of violations:
+ *
+ * - a figure or cell present in the baseline but missing now
+ *   (coverage loss);
+ * - per-cell `ticks` or `events` drift — exact comparison, any
+ *   difference fails (the simulator is deterministic, so drift means
+ *   behavior changed without the baseline being re-recorded);
+ * - per-figure wall time above baseline by more than the tolerance.
+ *
+ * Figures whose scale differs from the baseline's are a violation
+ * (the comparison would be meaningless). Cells/figures only in
+ * @p current are reported as new, not counted. Wall-time checks are
+ * skipped (with a note) when the job counts differ, since sweep wall
+ * time scales with concurrency.
+ */
+std::size_t compareResults(const ResultDoc &baseline,
+                           const ResultDoc &current,
+                           const CompareOptions &opt,
+                           std::ostream &os);
+
+} // namespace rnuma::driver
+
+#endif // RNUMA_DRIVER_COMPARE_HH

@@ -163,16 +163,19 @@ buildFig7(double scale)
         // One factory per row: fmm derives its anti-aliasing pool
         // from the block-cache geometry, so every cache-size column
         // must measure the identical trace generated from the base
-        // machine (as the original harness did).
+        // machine (as the original harness did). The shared cache
+        // key makes the runner generate that trace exactly once.
         WorkloadFactory make = appFactory(app, base, scale);
-        s.add({app, "baseline", Protocol::CCNuma, inf, make});
-        s.add({app, "cc-b1k", Protocol::CCNuma, cc1k, make});
-        s.add({app, "cc-b32k", Protocol::CCNuma, base, make});
-        s.add({app, "rn-b128-p320k", Protocol::RNuma, base, make});
+        std::string key = workloadCacheKey(app, base, scale);
+        s.add({app, "baseline", Protocol::CCNuma, inf, make, key});
+        s.add({app, "cc-b1k", Protocol::CCNuma, cc1k, make, key});
+        s.add({app, "cc-b32k", Protocol::CCNuma, base, make, key});
+        s.add({app, "rn-b128-p320k", Protocol::RNuma, base, make,
+               key});
         s.add({app, "rn-b32k-p320k", Protocol::RNuma, rn_bigbc,
-               make});
+               make, key});
         s.add({app, "rn-b128-p40m", Protocol::RNuma, rn_bigpc,
-               make});
+               make, key});
     }
     return s;
 }
@@ -218,11 +221,12 @@ buildFig8(double scale)
     Params base = Params::base();
     for (const auto &app : appNames()) {
         WorkloadFactory make = appFactory(app, base, scale);
+        std::string key = workloadCacheKey(app, base, scale);
         for (std::size_t T : fig8Thresholds) {
             Params p = base;
             p.relocationThreshold = T;
             s.add({app, "t" + std::to_string(T), Protocol::RNuma, p,
-                   make});
+                   make, key});
         }
     }
     return s;
@@ -264,11 +268,14 @@ buildFig9(double scale)
     Params soft = Params::soft();
     for (const auto &app : appNames()) {
         WorkloadFactory make = appFactory(app, base, scale);
-        s.add({app, "baseline", Protocol::CCNuma, inf, make});
-        s.add({app, "scoma", Protocol::SComa, base, make});
-        s.add({app, "scoma-soft", Protocol::SComa, soft, make});
-        s.add({app, "rnuma", Protocol::RNuma, base, make});
-        s.add({app, "rnuma-soft", Protocol::RNuma, soft, make});
+        std::string key = workloadCacheKey(app, base, scale);
+        s.add({app, "baseline", Protocol::CCNuma, inf, make, key});
+        s.add({app, "scoma", Protocol::SComa, base, make, key});
+        s.add({app, "scoma-soft", Protocol::SComa, soft, make,
+               key});
+        s.add({app, "rnuma", Protocol::RNuma, base, make, key});
+        s.add({app, "rnuma-soft", Protocol::RNuma, soft, make,
+               key});
     }
     return s;
 }
@@ -446,11 +453,15 @@ buildEq3(double)
     };
     Params base = sp;
     base.infiniteBlockCache = true;
+    std::string key = workloadCacheKey("adversary", sp, 1.0);
     s.add({"adversary", "baseline", Protocol::CCNuma, base,
-           adversary});
-    s.add({"adversary", "ccnuma", Protocol::CCNuma, sp, adversary});
-    s.add({"adversary", "scoma", Protocol::SComa, sp, adversary});
-    s.add({"adversary", "rnuma", Protocol::RNuma, sp, adversary});
+           adversary, key});
+    s.add({"adversary", "ccnuma", Protocol::CCNuma, sp, adversary,
+           key});
+    s.add({"adversary", "scoma", Protocol::SComa, sp, adversary,
+           key});
+    s.add({"adversary", "rnuma", Protocol::RNuma, sp, adversary,
+           key});
     return s;
 }
 
@@ -582,11 +593,15 @@ buildMicro(double scale)
     for (const Pattern &pat : patterns) {
         Params base = p;
         base.infiniteBlockCache = true;
+        std::string key = workloadCacheKey(pat.name, p, scale);
         s.add({pat.name, "baseline", Protocol::CCNuma, base,
-               pat.make});
-        s.add({pat.name, "ccnuma", Protocol::CCNuma, p, pat.make});
-        s.add({pat.name, "scoma", Protocol::SComa, p, pat.make});
-        s.add({pat.name, "rnuma", Protocol::RNuma, p, pat.make});
+               pat.make, key});
+        s.add({pat.name, "ccnuma", Protocol::CCNuma, p, pat.make,
+               key});
+        s.add({pat.name, "scoma", Protocol::SComa, p, pat.make,
+               key});
+        s.add({pat.name, "rnuma", Protocol::RNuma, p, pat.make,
+               key});
     }
     return s;
 }
@@ -672,7 +687,7 @@ findFigure(const std::string &name)
 
 FigureRun
 runFigure(const FigureSpec &spec, double scale, std::size_t jobs,
-          bool verify)
+          bool verify, bool cacheWorkloads)
 {
     FigureRun run;
     run.name = spec.name;
@@ -681,6 +696,7 @@ runFigure(const FigureSpec &spec, double scale, std::size_t jobs,
     run.scale = scale;
 
     SweepRunner runner(jobs);
+    runner.cacheWorkloads(cacheWorkloads);
     run.jobs = runner.jobs();
     Sweep sweep = spec.build(scale);
     auto t0 = std::chrono::steady_clock::now();
@@ -691,7 +707,7 @@ runFigure(const FigureSpec &spec, double scale, std::size_t jobs,
     // A serial run *is* the reference; re-running it to compare
     // against itself would double the cost to prove nothing.
     if (verify && run.jobs > 1)
-        verifySerialIdentical(sweep, run.result);
+        verifySerialIdentical(sweep, run.result, cacheWorkloads);
     return run;
 }
 

@@ -51,10 +51,13 @@ const FigureSpec *findFigure(const std::string &name);
  * serially and asserts every cell's RunStats is bit-identical
  * (catching any cross-cell state leakage that threading would
  * expose); a serial run is itself the reference, so verify is a
- * no-op there.
+ * no-op there. @p cacheWorkloads toggles the runner's
+ * content-addressed workload cache (the CLI's --no-workload-cache
+ * passes false).
  */
 FigureRun runFigure(const FigureSpec &spec, double scale,
-                    std::size_t jobs, bool verify);
+                    std::size_t jobs, bool verify,
+                    bool cacheWorkloads = true);
 
 /** Render @p run with its spec's renderer, recording the status. */
 int renderFigure(const FigureSpec &spec, FigureRun &run,

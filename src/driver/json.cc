@@ -116,7 +116,11 @@ JsonWriter::value(double v)
     separate();
     if (std::isfinite(v)) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        // Round-trip precision: the compare gate re-parses emitted
+        // documents and diffs fields like `scale` against in-process
+        // values, so serialization must not truncate (%.17g prints
+        // the shortest-ish form that parses back to the same double).
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
         os_ << buf;
     } else {
         os_ << "null"; // NaN/inf are not representable in JSON

@@ -9,7 +9,10 @@ namespace rnuma::driver
 namespace
 {
 
-constexpr const char *schemaName = "rnuma-sweep-results/v1";
+// v2: adds per-cell "events" (in stats) and "events_per_sec", plus
+// the figure-level workload-cache counters — the fields the
+// perf-baseline gate (rnuma_sweep --compare) consumes.
+constexpr const char *schemaName = "rnuma-sweep-results/v2";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -24,6 +27,7 @@ statFields()
 {
     static const std::vector<StatField> fields = {
         {"ticks", [](const RunStats &s) { return s.ticks; }},
+        {"events", [](const RunStats &s) { return s.events; }},
         {"refs", [](const RunStats &s) { return s.refs; }},
         {"l1_hits", [](const RunStats &s) { return s.l1Hits; }},
         {"l1_misses", [](const RunStats &s) { return s.l1Misses; }},
@@ -96,6 +100,12 @@ JsonSink::write(std::ostream &os,
         w.key("status");
         w.value(static_cast<std::uint64_t>(
             run.status < 0 ? 0 : run.status));
+        w.key("workloads_generated");
+        w.value(static_cast<std::uint64_t>(
+            run.result.workloadsGenerated));
+        w.key("workload_cache_hits");
+        w.value(static_cast<std::uint64_t>(
+            run.result.workloadCacheHits));
         w.key("cells");
         w.beginArray();
         for (const CellResult &c : run.result.cells) {
@@ -108,6 +118,8 @@ JsonSink::write(std::ostream &os,
             w.value(protocolName(c.protocol));
             w.key("wall_ms");
             w.value(c.wallMs);
+            w.key("events_per_sec");
+            w.value(c.eventsPerSec());
             w.key("stats");
             w.beginObject();
             for (const StatField &f : statFields()) {
@@ -129,7 +141,7 @@ void
 CsvSink::write(std::ostream &os,
                const std::vector<FigureRun> &runs) const
 {
-    os << "figure,scale,app,config,protocol,wall_ms";
+    os << "figure,scale,app,config,protocol,wall_ms,events_per_sec";
     for (const StatField &f : statFields())
         os << "," << f.name;
     os << "\n";
@@ -137,7 +149,7 @@ CsvSink::write(std::ostream &os,
         for (const CellResult &c : run.result.cells) {
             os << run.name << "," << run.scale << "," << c.app << ","
                << c.config << "," << protocolName(c.protocol) << ","
-               << c.wallMs;
+               << c.wallMs << "," << c.eventsPerSec();
             for (const StatField &f : statFields())
                 os << "," << f.get(c.stats);
             os << "\n";

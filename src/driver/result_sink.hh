@@ -3,9 +3,11 @@
  * Machine- and human-readable emitters for executed sweeps. A
  * FigureRun pairs a figure's identity with its SweepResult; the
  * sinks serialize lists of them. The JSON schema
- * ("rnuma-sweep-results/v1") is the stable artifact format the CI
- * figure pipeline and the perf-tracking job consume, so changes to
- * it must bump the schema string.
+ * ("rnuma-sweep-results/v2", documented in docs/PERFORMANCE.md) is
+ * the stable artifact format the CI figure pipeline and the
+ * perf-baseline gate consume, so changes to it must bump the schema
+ * string (v2 added per-cell event counts/throughput and the
+ * workload-cache counters; the gate still reads v1 baselines).
  */
 
 #ifndef RNUMA_DRIVER_RESULT_SINK_HH
@@ -50,7 +52,7 @@ class ResultSink
                        const std::vector<FigureRun> &runs) const = 0;
 };
 
-/** The "rnuma-sweep-results/v1" JSON document. */
+/** The "rnuma-sweep-results/v2" JSON document. */
 class JsonSink : public ResultSink
 {
   public:

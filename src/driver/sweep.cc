@@ -1,6 +1,8 @@
 #include "driver/sweep.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "workload/registry.hh"
@@ -51,6 +53,22 @@ appFactory(std::string app, const Params &gen, double scale,
     };
 }
 
+std::string
+workloadCacheKey(const std::string &name, const Params &gen,
+                 double scale, std::uint64_t seed)
+{
+    // scale participates bit-exactly (formatting a double would
+    // collapse nearby values).
+    std::uint64_t scale_bits = 0;
+    static_assert(sizeof(scale_bits) == sizeof(scale),
+                  "double is not 64-bit");
+    std::memcpy(&scale_bits, &scale, sizeof(scale_bits));
+    std::ostringstream os;
+    os << name << '@' << std::hex << gen.fingerprint() << '/'
+       << scale_bits << '/' << seed;
+    return os.str();
+}
+
 Sweep::Sweep(std::string name, std::string title,
              std::string paper_ref)
     : name_(std::move(name)), title_(std::move(title)),
@@ -83,6 +101,7 @@ Sweep::addApp(const std::string &app, const std::string &config,
     c.protocol = proto;
     c.params = p;
     c.make = appFactory(app, p, scale, seed);
+    c.workloadKey = workloadCacheKey(app, p, scale, seed);
     add(std::move(c));
 }
 
@@ -97,6 +116,7 @@ Sweep::addBaseline(const std::string &app, const Params &p,
     c.params = p;
     c.params.infiniteBlockCache = true;
     c.make = appFactory(app, p, scale, seed);
+    c.workloadKey = workloadCacheKey(app, p, scale, seed);
     add(std::move(c));
 }
 

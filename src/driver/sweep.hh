@@ -37,6 +37,19 @@ WorkloadFactory appFactory(std::string app, const Params &gen,
                            double scale, std::uint64_t seed = 1);
 
 /**
+ * Content-address a generated workload: a key equal exactly when the
+ * generator inputs — name, every Params field (via
+ * Params::fingerprint()), scale, and seed — are equal, so cells with
+ * the same key replay bit-identical streams. Used as Cell::workloadKey
+ * by the SweepRunner's workload cache; @p name need not be a registry
+ * app (the micro patterns and the eq3 adversary key themselves the
+ * same way).
+ */
+std::string workloadCacheKey(const std::string &name,
+                             const Params &gen, double scale,
+                             std::uint64_t seed = 1);
+
+/**
  * The environment conventions shared by the bench harnesses and the
  * sweep CLI: RNUMA_BENCH_SCALE (workload scale, default 1.0) and
  * RNUMA_BENCH_JOBS (worker threads, 0 = hardware concurrency,
@@ -53,6 +66,13 @@ struct Cell
     Protocol protocol = Protocol::CCNuma;
     Params params;      ///< the configuration the cell *runs* under
     WorkloadFactory make;
+    /**
+     * Content address of the workload `make` generates (see
+     * workloadCacheKey). Cells sharing a key generate the workload
+     * once per sweep and replay immutable snapshot views of it.
+     * Empty means "don't cache": the cell always calls `make`.
+     */
+    std::string workloadKey;
 };
 
 /** An ordered collection of cells with identity metadata. */

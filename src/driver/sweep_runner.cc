@@ -1,7 +1,10 @@
 #include "driver/sweep_runner.hh"
 
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -9,6 +12,14 @@
 
 namespace rnuma::driver
 {
+
+double
+CellResult::eventsPerSec() const
+{
+    if (wallMs <= 0)
+        return 0;
+    return static_cast<double>(stats.events) / (wallMs / 1000.0);
+}
 
 const CellResult *
 SweepResult::find(const std::string &app,
@@ -43,8 +54,39 @@ SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs)
 namespace
 {
 
+/** One generated-once workload snapshot, shared by key. */
+using SnapshotMap =
+    std::unordered_map<std::string,
+                       std::shared_ptr<const VectorWorkload>>;
+
+/**
+ * Keyed workloads whose factory product could not be snapshotted
+ * (not a VectorWorkload): the phase-1 generation is not wasted —
+ * the first cell asking for the key takes it; the rest regenerate,
+ * matching the cache-off cost. Mutex-guarded, but only this cold
+ * path ever touches it.
+ */
+struct LeftoverPool
+{
+    std::mutex m;
+    std::unordered_map<std::string, std::unique_ptr<Workload>> map;
+
+    std::unique_ptr<Workload>
+    take(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = map.find(key);
+        if (it == map.end())
+            return nullptr;
+        std::unique_ptr<Workload> wl = std::move(it->second);
+        map.erase(it);
+        return wl;
+    }
+};
+
 CellResult
-runCell(const Cell &cell)
+runCell(const Cell &cell, const SnapshotMap &snapshots,
+        LeftoverPool &leftovers)
 {
     CellResult r;
     r.app = cell.app;
@@ -52,7 +94,16 @@ runCell(const Cell &cell)
     r.protocol = cell.protocol;
 
     auto t0 = std::chrono::steady_clock::now();
-    std::unique_ptr<Workload> wl = cell.make();
+    std::unique_ptr<Workload> wl;
+    if (!cell.workloadKey.empty()) {
+        auto it = snapshots.find(cell.workloadKey);
+        if (it != snapshots.end() && it->second)
+            wl = std::make_unique<SnapshotWorkload>(it->second);
+        else if (it != snapshots.end())
+            wl = leftovers.take(cell.workloadKey);
+    }
+    if (!wl)
+        wl = cell.make();
     RNUMA_ASSERT(wl, "cell (", cell.app, ", ", cell.config,
                  ") factory returned no workload");
     r.stats = runProtocol(cell.params, cell.protocol, *wl);
@@ -70,19 +121,72 @@ SweepRunner::run(const Sweep &sweep) const
     const std::vector<Cell> &cells = sweep.cells();
     SweepResult result;
     result.cells.resize(cells.size());
-    // Each task writes only its own slot, so results land in cell
-    // order and the per-cell stats are bit-identical at any job
-    // count; parallelFor reports a failed cell from this thread.
+
+    // Phase 1 (cache enabled): generate each distinct keyed workload
+    // once, concurrently. A keyed factory whose product is not a
+    // VectorWorkload cannot be snapshotted and falls back to per-cell
+    // generation.
+    SnapshotMap snapshots;
+    LeftoverPool leftovers;
+    if (cache_) {
+        std::vector<const Cell *> generators;
+        for (const Cell &c : cells) {
+            if (c.workloadKey.empty() ||
+                snapshots.count(c.workloadKey))
+                continue;
+            snapshots.emplace(c.workloadKey, nullptr);
+            generators.push_back(&c);
+        }
+        parallelFor(generators.size(), jobs_, [&](std::size_t i) {
+            const Cell &c = *generators[i];
+            std::unique_ptr<Workload> wl = c.make();
+            RNUMA_ASSERT(wl, "cell (", c.app, ", ", c.config,
+                         ") factory returned no workload");
+            // Transfer ownership into the shared snapshot; each
+            // generator writes only its own (pre-inserted) map slot,
+            // so no rehash or locking is involved.
+            auto *vec = dynamic_cast<VectorWorkload *>(wl.get());
+            if (vec) {
+                wl.release();
+                snapshots[c.workloadKey] =
+                    std::shared_ptr<const VectorWorkload>(vec);
+            } else {
+                // Not snapshottable; keep the product for one cell.
+                std::lock_guard<std::mutex> lock(leftovers.m);
+                leftovers.map[c.workloadKey] = std::move(wl);
+            }
+        });
+        std::size_t served = 0;
+        for (const Cell &c : cells) {
+            if (c.workloadKey.empty())
+                continue;
+            auto it = snapshots.find(c.workloadKey);
+            if (it != snapshots.end() && it->second)
+                served++;
+        }
+        for (const auto &kv : snapshots)
+            if (kv.second)
+                result.workloadsGenerated++;
+        result.workloadCacheHits =
+            served - result.workloadsGenerated;
+    }
+
+    // Phase 2: run every cell. Each task writes only its own slot,
+    // so results land in cell order and the per-cell stats are
+    // bit-identical at any job count; parallelFor reports a failed
+    // cell from this thread.
     parallelFor(cells.size(), jobs_, [&](std::size_t i) {
-        result.cells[i] = runCell(cells[i]);
+        result.cells[i] = runCell(cells[i], snapshots, leftovers);
     });
     return result;
 }
 
 void
-verifySerialIdentical(const Sweep &sweep, const SweepResult &result)
+verifySerialIdentical(const Sweep &sweep, const SweepResult &result,
+                      bool cacheWorkloads)
 {
-    SweepResult serial = SweepRunner(1).run(sweep);
+    SweepResult serial =
+        SweepRunner(1).cacheWorkloads(cacheWorkloads).run(sweep);
     RNUMA_ASSERT(serial.cells.size() == result.cells.size(),
                  "sweep '", sweep.name(), "': cell count changed");
     for (std::size_t i = 0; i < serial.cells.size(); ++i) {

@@ -6,6 +6,15 @@
  * cell list and N worker threads. Results land at the cell's own
  * index, so the output order — and, because the simulator is
  * deterministic, every RunStats bit — is identical at any job count.
+ *
+ * Cells that declare a Cell::workloadKey are served by the runner's
+ * content-addressed workload cache: each distinct key's workload is
+ * generated once per run() (concurrently, on the same pool) into an
+ * immutable snapshot, and every cell sharing the key replays a
+ * SnapshotWorkload view of it. Generators are deterministic, so the
+ * per-cell RunStats is bit-identical with the cache on or off; the
+ * opt-out (cacheWorkloads(false), the CLI's --no-workload-cache)
+ * exists to restore full cell isolation when debugging.
  */
 
 #ifndef RNUMA_DRIVER_SWEEP_RUNNER_HH
@@ -28,12 +37,21 @@ struct CellResult
     Protocol protocol = Protocol::CCNuma;
     RunStats stats;
     double wallMs = 0; ///< host wall-clock time for this cell
+
+    /** Scheduler throughput: simulation events per host second. */
+    double eventsPerSec() const;
 };
 
 /** All cell results of one sweep, in cell order. */
 struct SweepResult
 {
     std::vector<CellResult> cells;
+
+    //--- Workload-cache accounting (whole sweep) -----------------------
+    /** Distinct workloads actually generated. */
+    std::size_t workloadsGenerated = 0;
+    /** Cells served from an already-generated snapshot. */
+    std::size_t workloadCacheHits = 0;
 
     /** Find a cell by labels; nullptr when absent. */
     const CellResult *find(const std::string &app,
@@ -61,17 +79,30 @@ class SweepRunner
 
     std::size_t jobs() const { return jobs_; }
 
+    /** Enable/disable the workload cache (default: enabled). */
+    SweepRunner &
+    cacheWorkloads(bool enable)
+    {
+        cache_ = enable;
+        return *this;
+    }
+    bool workloadCacheEnabled() const { return cache_; }
+
   private:
     std::size_t jobs_;
+    bool cache_ = true;
 };
 
 /**
  * Re-run @p sweep serially and assert each cell's RunStats is
  * bit-identical to @p result (the `--verify` mode of the CLI; the
- * driver tests use it across job counts).
+ * driver tests use it across job counts). @p cacheWorkloads selects
+ * the reference run's workload-cache mode, so a cache-disabled sweep
+ * is verified against a cache-disabled reference.
  */
 void verifySerialIdentical(const Sweep &sweep,
-                           const SweepResult &result);
+                           const SweepResult &result,
+                           bool cacheWorkloads = true);
 
 } // namespace rnuma::driver
 

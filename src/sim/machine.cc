@@ -175,6 +175,7 @@ Machine::run()
     for (auto &n : nodes_)
         stats_.busWait += n->bus().waited();
     stats_.niWait = net_.waited();
+    stats_.events = eq_.processed();
     return stats_;
 }
 

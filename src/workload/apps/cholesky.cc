@@ -27,7 +27,12 @@ makeCholesky(const Params &p, double scale, std::uint64_t seed)
     const std::size_t panels = scaled(96, scale);
     const std::size_t steps = panels / 3 ? panels / 3 : 1;
     const std::size_t reads_per_step = 3; // panels re-read per cpu
-    const std::size_t sample_blocks = 96; // of 128 per panel page
+    // 96 of the base machine's 128 blocks per panel page; clamped
+    // because a panel is exactly one page — on small-page
+    // configurations sampling 96 blocks would run off the panel
+    // into its neighbors (and past the last allocation).
+    const std::size_t sample_blocks =
+        p.blocksPerPage() < 96 ? p.blocksPerPage() : 96;
     const std::size_t passes = 2;
     const std::size_t ncpus = b.ncpus();
 

@@ -34,7 +34,15 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
     const std::size_t iters = 3;
     const std::size_t ncpus = b.ncpus();
     const std::size_t own = cells / ncpus ? cells / ncpus : 1;
-    const std::size_t cells_per_page = p.pageSize / cell_bytes;
+    // An expansion spans two blocks only while blockSize <
+    // cell_bytes; with larger blocks the +blockSize access would
+    // cross into the next cell (or past the array's last cell).
+    const bool two_block_cells = p.blockSize < cell_bytes;
+    // Pages smaller than a cell hold a fraction of one; clamp so the
+    // page/pool arithmetic below stays meaningful (one cell "per
+    // page" then simply means per cell-sized span).
+    const std::size_t cells_per_page =
+        p.pageSize >= cell_bytes ? p.pageSize / cell_bytes : 1;
 
     Addr base = b.allocBytes(cells * cell_bytes);
     for (CpuId c = 0; c < ncpus; ++c) {
@@ -107,7 +115,9 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
             Addr mine = base + c * own * cell_bytes;
             for (std::size_t i = 0; i < own; ++i) {
                 b.write(c, mine + i * cell_bytes, 2);
-                b.write(c, mine + i * cell_bytes + p.blockSize, 2);
+                if (two_block_cells)
+                    b.write(c, mine + i * cell_bytes + p.blockSize,
+                            2);
             }
         }
         b.barrier();
@@ -126,7 +136,8 @@ makeFmm(const Params &p, double scale, std::uint64_t seed)
                         Addr cell = pool[n][static_cast<std::size_t>(
                             b.rng().below(pool_target))];
                         b.read(c, cell, 4);
-                        b.read(c, cell + p.blockSize, 4);
+                        if (two_block_cells)
+                            b.read(c, cell + p.blockSize, 4);
                     }
                 }
             }

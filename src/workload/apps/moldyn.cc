@@ -62,12 +62,18 @@ makeMoldyn(const Params &p, double scale, std::uint64_t seed)
                     b.read(c, a, 6);
         }
         // Integration: rewrite owned positions (invalidating the
-        // copies the consumers cached).
+        // copies the consumers cached). A particle record spans two
+        // blocks only while blockSize < particle_bytes; with larger
+        // blocks the second write would land in the next particle —
+        // and past the array for the last one.
         for (CpuId c = 0; c < ncpus; ++c) {
             Addr mine = base + c * own * particle_bytes;
             for (std::size_t i = 0; i < own; ++i) {
                 b.write(c, mine + i * particle_bytes, 3);
-                b.write(c, mine + i * particle_bytes + p.blockSize, 3);
+                if (p.blockSize < particle_bytes)
+                    b.write(c,
+                            mine + i * particle_bytes + p.blockSize,
+                            3);
             }
         }
         b.barrier();

@@ -32,7 +32,11 @@ makeRadix(const Params &p, double scale, std::uint64_t seed)
     const std::size_t ncpus = b.ncpus();
     const std::size_t keys_per_cpu = keys / ncpus ? keys / ncpus : 1;
     const std::size_t key_bytes = 4;
-    const std::size_t keys_per_block = p.blockSize / key_bytes;
+    // Blocks narrower than a key still hold (at least) one key for
+    // the purposes of the block-granular streaming below; without
+    // the clamp the stride arithmetic divides by zero.
+    const std::size_t keys_per_block = p.blockSize > key_bytes
+        ? p.blockSize / key_bytes : 1;
 
     // Per-digit, per-node destination sub-runs: digit-major layout,
     // each (digit, node) run holds keys/digits/nodes keys. A block of
@@ -88,7 +92,12 @@ makeRadix(const Params &p, double scale, std::uint64_t seed)
         // extraction) and fold into the shared histogram page.
         for (CpuId c = 0; c < ncpus; ++c) {
             NodeId n = b.nodeOf(c);
+            // Each CPU starts on a distinct page of its node's
+            // stripe; tiny inputs have fewer pages than CPUs, so
+            // wrap rather than stream past the array.
             std::size_t pg = n + (c % b.cpusPerNode()) * b.nnodes();
+            if (pg >= array_pages)
+                pg %= array_pages;
             std::size_t blocks_to_read = keys_per_cpu /
                 keys_per_block;
             std::size_t consumed = 0;
@@ -96,7 +105,7 @@ makeRadix(const Params &p, double scale, std::uint64_t seed)
                 if (consumed == p.blocksPerPage()) {
                     pg += b.nnodes() * b.cpusPerNode();
                     if (pg >= array_pages)
-                        pg = n;
+                        pg = n % array_pages;
                     consumed = 0;
                 }
                 b.read(c, from + pg * p.pageSize +
@@ -123,6 +132,8 @@ makeRadix(const Params &p, double scale, std::uint64_t seed)
             NodeId n = b.nodeOf(c);
             std::size_t local_pg = n +
                 (c % b.cpusPerNode()) * b.nnodes();
+            if (local_pg >= array_pages)
+                local_pg %= array_pages;
             Addr mine = from + local_pg * p.pageSize;
             std::size_t stride = b.nnodes() * b.cpusPerNode();
             (void)pages_per_node;
@@ -135,7 +146,7 @@ makeRadix(const Params &p, double scale, std::uint64_t seed)
                     if (k > 0 && key_in_page == 0) {
                         local_pg += stride;
                         if (local_pg >= array_pages)
-                            local_pg = n;
+                            local_pg = n % array_pages;
                         mine = from + local_pg * p.pageSize;
                         consumed = 0;
                     }

@@ -53,6 +53,28 @@ StreamBuilder::finish()
 {
     RNUMA_ASSERT(wl, "finish() called twice");
     wl->seal();
+    // Geometry audit: every address a generator emits must lie
+    // inside the space it allocated. Historically generators have
+    // baked in layout assumptions (record size vs blockSize,
+    // working-set pages vs machine width) that only overflow on
+    // unusual Params, silently touching other allocations'
+    // addresses; this turns those bugs into immediate failures at
+    // generation time, on every configuration.
+    const Addr limit = as.bytesAllocated();
+    for (CpuId c = 0; c < wl->numCpus(); ++c) {
+        for (std::size_t i = 0; i < wl->size(c); ++i) {
+            const Ref &r = wl->at(c, i);
+            if (r.kind != RefKind::Mem &&
+                r.kind != RefKind::InitTouch)
+                continue;
+            RNUMA_ASSERT(r.addr < limit, "workload '", wl->name(),
+                         "': cpu ", c, " entry ", i, " touches ",
+                         r.addr, " beyond the ", limit,
+                         " bytes allocated (generator geometry "
+                         "assumption violated)");
+        }
+    }
+    wl->setAddrLimit(limit);
     return std::move(wl);
 }
 

@@ -81,4 +81,46 @@ VectorWorkload::totalRefs() const
     return n;
 }
 
+SnapshotWorkload::SnapshotWorkload(
+    std::shared_ptr<const VectorWorkload> snap)
+    : snap_(std::move(snap))
+{
+    RNUMA_ASSERT(snap_, "snapshot view over a null workload");
+    RNUMA_ASSERT(snap_->sealed,
+                 "snapshot view over an unsealed workload '",
+                 snap_->name_, "'");
+    streams_.reserve(snap_->streams.size());
+    for (const auto &s : snap_->streams)
+        streams_.push_back(Stream{s.data(), s.size(), 0});
+}
+
+std::size_t
+SnapshotWorkload::numCpus() const
+{
+    return streams_.size();
+}
+
+const Ref &
+SnapshotWorkload::next(CpuId cpu)
+{
+    RNUMA_ASSERT(cpu < streams_.size(), "bad cpu ", cpu);
+    Stream &s = streams_[cpu];
+    if (s.cursor >= s.size)
+        return VectorWorkload::endRef;
+    return s.data[s.cursor++];
+}
+
+void
+SnapshotWorkload::reset()
+{
+    for (Stream &s : streams_)
+        s.cursor = 0;
+}
+
+const std::string &
+SnapshotWorkload::name() const
+{
+    return snap_->name_;
+}
+
 } // namespace rnuma

@@ -106,14 +106,65 @@ class VectorWorkload : public Workload
      */
     std::size_t memRefCount() const { return mem_refs; }
 
+    /**
+     * One past the highest legally addressable byte (the generator's
+     * allocation high-water mark), recorded by StreamBuilder::finish
+     * after it audits every entry against it. 0 = unknown (e.g. a
+     * trace-replayed workload).
+     */
+    Addr addrLimit() const { return addr_limit; }
+    void setAddrLimit(Addr limit) { addr_limit = limit; }
+
   private:
+    friend class SnapshotWorkload;
+
     std::string name_;
     std::vector<std::vector<Ref>> streams;
     std::vector<std::size_t> cursor;
     std::size_t mem_refs = 0;
+    Addr addr_limit = 0;
     bool sealed = false;
 
     static const Ref endRef;
+};
+
+/**
+ * A lightweight cursor view over an immutable, shared VectorWorkload
+ * snapshot. The sweep driver's content-addressed workload cache
+ * generates each distinct workload once and hands every cell sharing
+ * it one of these: the (potentially large) reference streams are
+ * shared read-only, while each view carries only its own per-CPU
+ * cursors, so concurrent cells never touch shared mutable state.
+ * Replaying a view is bit-identical to replaying the snapshot itself.
+ *
+ * next() is the simulator's per-reference hot path, so the view
+ * flattens each stream to a raw (data, size) span at construction —
+ * one dependent load fewer than going back through the snapshot's
+ * vector-of-vectors on every reference.
+ */
+class SnapshotWorkload : public Workload
+{
+  public:
+    /** @param snap a sealed workload; fatal when null or unsealed. */
+    explicit SnapshotWorkload(
+        std::shared_ptr<const VectorWorkload> snap);
+
+    std::size_t numCpus() const override;
+    const Ref &next(CpuId cpu) override;
+    void reset() override;
+    const std::string &name() const override;
+
+  private:
+    /** One CPU's stream: borrowed storage plus this view's cursor. */
+    struct Stream
+    {
+        const Ref *data;
+        std::size_t size;
+        std::size_t cursor;
+    };
+
+    std::shared_ptr<const VectorWorkload> snap_; ///< keeps data alive
+    std::vector<Stream> streams_;
 };
 
 } // namespace rnuma

@@ -1,22 +1,27 @@
 /**
  * @file
  * Tests for the sweep driver (src/driver): serial-vs-parallel
- * RunStats determinism across thread counts, JSON round-trip of a
- * small executed sweep, sweep declaration invariants, and the
- * unknown-app / empty-sweep error paths. Uses the tiny test_util.hh
- * machine so the suites stay fast.
+ * RunStats determinism across thread counts, the content-addressed
+ * workload cache (hit/miss accounting, opt-out bit-identity, key
+ * semantics), the perf-baseline compare gate (exact ticks/events,
+ * thresholded wall time, v1 baselines), JSON round-trip of a small
+ * executed sweep, sweep declaration invariants, and the unknown-app
+ * / empty-sweep error paths. Uses the tiny test_util.hh machine so
+ * the suites stay fast.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "driver/compare.hh"
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/result_sink.hh"
 #include "driver/sweep.hh"
 #include "driver/sweep_runner.hh"
 #include "workload/micro.hh"
+#include "workload/registry.hh"
 
 #include "test_util.hh"
 
@@ -66,7 +71,7 @@ TEST(SweepDecl, RejectsDuplicateCellAndMissingFactory)
     EXPECT_THROW(
         s.addApp("moldyn", "ccnuma", p, Protocol::SComa, testScale),
         std::runtime_error);
-    EXPECT_THROW(s.add({"x", "y", Protocol::CCNuma, p, nullptr}),
+    EXPECT_THROW(s.add({"x", "y", Protocol::CCNuma, p, nullptr, ""}),
                  std::logic_error);
 }
 
@@ -145,7 +150,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v1");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v2");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -175,6 +180,289 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
                 << cc.app << "/" << cc.config << " " << f.name;
         }
     }
+}
+
+TEST(WorkloadCache, SharesGenerationAcrossCellsAndCountsHits)
+{
+    // smallSweep: 3 apps x 4 configs, each app's four cells sharing
+    // one (app, gen-params, scale, seed) workload key.
+    Sweep s = smallSweep();
+    SweepResult r = SweepRunner(2).run(s);
+    EXPECT_EQ(r.workloadsGenerated, 3u);
+    EXPECT_EQ(r.workloadCacheHits, 9u);
+    for (const CellResult &c : r.cells) {
+        EXPECT_GT(c.stats.refs, 0u) << c.app << "/" << c.config;
+        EXPECT_GT(c.stats.events, 0u) << c.app << "/" << c.config;
+    }
+}
+
+TEST(WorkloadCache, OptOutIsBitIdenticalAndGeneratesPerCell)
+{
+    Sweep s = smallSweep();
+    SweepResult cached = SweepRunner(1).run(s);
+    SweepResult isolated =
+        SweepRunner(1).cacheWorkloads(false).run(s);
+    EXPECT_EQ(isolated.workloadsGenerated, 0u);
+    EXPECT_EQ(isolated.workloadCacheHits, 0u);
+    ASSERT_EQ(cached.cells.size(), isolated.cells.size());
+    for (std::size_t i = 0; i < cached.cells.size(); ++i) {
+        EXPECT_EQ(cached.cells[i].stats, isolated.cells[i].stats)
+            << cached.cells[i].app << "/"
+            << cached.cells[i].config;
+    }
+    // The cache-off reference path of verify agrees too.
+    EXPECT_NO_THROW(verifySerialIdentical(s, isolated, false));
+}
+
+TEST(WorkloadCache, UnkeyedCellsBypassTheCache)
+{
+    Sweep s("unkeyed", "", "");
+    Params p = test::smallParams();
+    WorkloadFactory make = appFactory("moldyn", p, testScale);
+    s.add({"moldyn", "a", Protocol::CCNuma, p, make, ""});
+    s.add({"moldyn", "b", Protocol::SComa, p, make, ""});
+    SweepResult r = SweepRunner(1).run(s);
+    EXPECT_EQ(r.workloadsGenerated, 0u);
+    EXPECT_EQ(r.workloadCacheHits, 0u);
+    EXPECT_GT(r.at("moldyn", "a").stats.refs, 0u);
+}
+
+namespace
+{
+
+/** A Workload that is deliberately not a VectorWorkload. */
+class OpaqueWorkload : public Workload
+{
+  public:
+    explicit OpaqueWorkload(std::unique_ptr<VectorWorkload> inner)
+        : inner_(std::move(inner))
+    {
+    }
+    std::size_t numCpus() const override
+    {
+        return inner_->numCpus();
+    }
+    const Ref &next(CpuId cpu) override { return inner_->next(cpu); }
+    void reset() override { inner_->reset(); }
+    const std::string &name() const override
+    {
+        return inner_->name();
+    }
+
+  private:
+    std::unique_ptr<VectorWorkload> inner_;
+};
+
+} // namespace
+
+TEST(WorkloadCache, NonSnapshottableKeyedFactoryWastesNoGeneration)
+{
+    // A keyed factory whose product cannot be snapshotted: phase 1
+    // still generates once, and that product must be handed to one
+    // of the cells — total generations equal the cell count, the
+    // same as with the cache off (never cells + 1).
+    auto calls = std::make_shared<int>(0);
+    Params p = test::smallParams();
+    WorkloadFactory make = [calls, p] {
+        ++*calls;
+        return std::unique_ptr<Workload>(std::make_unique<
+            OpaqueWorkload>(makeApp("moldyn", p, testScale)));
+    };
+    Sweep s("opaque", "", "");
+    s.add({"moldyn", "a", Protocol::CCNuma, p, make, "opaque-key"});
+    s.add({"moldyn", "b", Protocol::SComa, p, make, "opaque-key"});
+    SweepResult r = SweepRunner(1).run(s);
+    EXPECT_EQ(r.workloadsGenerated, 0u);
+    EXPECT_EQ(r.workloadCacheHits, 0u);
+    EXPECT_GT(r.at("moldyn", "a").stats.refs, 0u);
+    EXPECT_GT(r.at("moldyn", "b").stats.refs, 0u);
+    EXPECT_EQ(*calls, 2);
+    // And the streams are identical to the snapshotted path.
+    Sweep keyed("keyed", "", "");
+    keyed.addApp("moldyn", "a", p, Protocol::CCNuma, testScale);
+    SweepResult kr = SweepRunner(1).run(keyed);
+    EXPECT_EQ(kr.at("moldyn", "a").stats,
+              r.at("moldyn", "a").stats);
+}
+
+TEST(WorkloadCache, KeyDistinguishesGeneratorInputs)
+{
+    Params p = test::smallParams();
+    Params q = p;
+    q.blockCacheSize = 2 * p.blockCacheSize;
+    EXPECT_EQ(workloadCacheKey("fmm", p, 0.1, 1),
+              workloadCacheKey("fmm", p, 0.1, 1));
+    EXPECT_NE(workloadCacheKey("fmm", p, 0.1, 1),
+              workloadCacheKey("fmm", q, 0.1, 1));
+    EXPECT_NE(workloadCacheKey("fmm", p, 0.1, 1),
+              workloadCacheKey("fmm", p, 0.2, 1));
+    EXPECT_NE(workloadCacheKey("fmm", p, 0.1, 1),
+              workloadCacheKey("fmm", p, 0.1, 2));
+    EXPECT_NE(workloadCacheKey("fmm", p, 0.1, 1),
+              workloadCacheKey("lu", p, 0.1, 1));
+}
+
+namespace
+{
+
+/** One executed smallSweep as a comparable results doc. */
+ResultDoc
+smallDoc()
+{
+    Sweep s = smallSweep();
+    FigureRun run = wrap(s, SweepRunner(1).run(s));
+    run.wallMs = 100.0; // deterministic wall time for the tests
+    return resultsOf({run});
+}
+
+} // namespace
+
+TEST(CompareGate, IdenticalResultsPass)
+{
+    ResultDoc doc = smallDoc();
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(doc, doc, CompareOptions{}, os), 0u);
+    EXPECT_NE(os.str().find("compare: PASS"), std::string::npos);
+}
+
+TEST(CompareGate, TicksDriftFailsExactly)
+{
+    ResultDoc base = smallDoc();
+    ResultDoc cur = base;
+    cur.figures[0].cells[3].ticks += 1;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os), 1u);
+    EXPECT_NE(os.str().find("ticks drifted"), std::string::npos);
+}
+
+TEST(CompareGate, EventsDriftFails)
+{
+    ResultDoc base = smallDoc();
+    ResultDoc cur = base;
+    cur.figures[0].cells[0].events += 5;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os), 1u);
+    EXPECT_NE(os.str().find("events drifted"), std::string::npos);
+}
+
+TEST(CompareGate, MissingCellAndFigureAreViolations)
+{
+    ResultDoc base = smallDoc();
+    ResultDoc cur = base;
+    cur.figures[0].cells.pop_back();
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os), 1u);
+
+    ResultDoc none;
+    none.schema = base.schema;
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(base, none, CompareOptions{}, os2), 1u);
+    EXPECT_NE(os2.str().find("figure missing"), std::string::npos);
+}
+
+TEST(CompareGate, ScaleMismatchIsAViolation)
+{
+    ResultDoc base = smallDoc();
+    ResultDoc cur = base;
+    cur.figures[0].scale *= 2;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os), 1u);
+    EXPECT_NE(os.str().find("scale changed"), std::string::npos);
+
+    // Serialization rounding must not count as a mismatch: pre-v2
+    // baselines carried %.6g-truncated scales.
+    cur.figures[0].scale =
+        base.figures[0].scale * (1.0 + 1e-7);
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os2), 0u);
+}
+
+TEST(CompareGate, WallTimeThresholdedNotExact)
+{
+    ResultDoc base = smallDoc();
+    ResultDoc cur = base;
+    cur.figures[0].wallMs = base.figures[0].wallMs * 1.2;
+    CompareOptions opt;
+    opt.wallTolerancePct = 25.0;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, opt, os), 0u);
+
+    cur.figures[0].wallMs = base.figures[0].wallMs * 1.3;
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(base, cur, opt, os2), 1u);
+    EXPECT_NE(os2.str().find("wall time regressed"),
+              std::string::npos);
+
+    // Negative tolerance: determinism checks only.
+    opt.wallTolerancePct = -1;
+    std::ostringstream os3;
+    EXPECT_EQ(compareResults(base, cur, opt, os3), 0u);
+
+    // Different job counts: wall check skipped with a note.
+    opt.wallTolerancePct = 25.0;
+    cur.figures[0].jobs = base.figures[0].jobs + 1;
+    std::ostringstream os4;
+    EXPECT_EQ(compareResults(base, cur, opt, os4), 0u);
+    EXPECT_NE(os4.str().find("wall-time check skipped"),
+              std::string::npos);
+}
+
+TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
+{
+    Sweep s = smallSweep();
+    FigureRun run = wrap(s, SweepRunner(1).run(s));
+    std::ostringstream os;
+    JsonSink().write(os, {run});
+    ResultDoc loaded = loadResults(os.str());
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v2");
+    ResultDoc direct = resultsOf({run});
+    ASSERT_EQ(loaded.figures.size(), 1u);
+    ASSERT_EQ(loaded.figures[0].cells.size(),
+              direct.figures[0].cells.size());
+    for (std::size_t i = 0; i < loaded.figures[0].cells.size();
+         ++i) {
+        const ResultCell &a = loaded.figures[0].cells[i];
+        const ResultCell &b = direct.figures[0].cells[i];
+        EXPECT_EQ(a.ticks, b.ticks) << a.app << "/" << a.config;
+        EXPECT_EQ(a.events, b.events) << a.app << "/" << a.config;
+        EXPECT_TRUE(a.hasEvents);
+    }
+    std::ostringstream report;
+    EXPECT_EQ(
+        compareResults(loaded, direct, CompareOptions{-1}, report),
+        0u);
+}
+
+TEST(CompareGate, AcceptsV1BaselinesWithoutEvents)
+{
+    // A v1 document has no per-cell events; only ticks are diffed.
+    const char *v1 =
+        "{\"schema\": \"rnuma-sweep-results/v1\", \"figures\": ["
+        "{\"name\": \"small\", \"scale\": 0.05, \"jobs\": 1,"
+        " \"wall_ms\": 10.0, \"status\": 0, \"cells\": ["
+        "{\"app\": \"moldyn\", \"config\": \"ccnuma\","
+        " \"wall_ms\": 1.0, \"stats\": {\"ticks\": 42}}]}]}";
+    ResultDoc base = loadResults(v1);
+    ASSERT_EQ(base.figures.size(), 1u);
+    EXPECT_FALSE(base.figures[0].cells[0].hasEvents);
+
+    ResultDoc cur = base;
+    cur.figures[0].cells[0].events = 7; // ignored: baseline has none
+    cur.figures[0].cells[0].hasEvents = true;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os), 0u);
+
+    cur.figures[0].cells[0].ticks = 43;
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os2), 1u);
+}
+
+TEST(CompareGate, RejectsForeignJson)
+{
+    EXPECT_THROW(loadResults("{\"schema\": \"other/v1\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(loadResults("[1, 2]"), std::runtime_error);
+    EXPECT_THROW(loadResults("not json"), std::runtime_error);
 }
 
 TEST(JsonRoundTrip, CsvHasHeaderPlusOneRowPerCell)

@@ -1,9 +1,17 @@
-/** @file Unit tests for the discrete-event queue. */
+/**
+ * @file
+ * Unit tests for the discrete-event queue: API behavior of the
+ * production calendar scheduler, plus ordering-parity checks that
+ * replay randomized schedules through both the calendar and the
+ * HeapEventQueue reference and assert bit-identical pop sequences.
+ */
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
+#include "common/rng.hh"
 #include "sim/event_queue.hh"
 
 namespace rnuma
@@ -70,6 +78,137 @@ TEST(EventQueue, InterleavedScheduleAndPop)
     q.schedule(e.when + 1, 3);
     EXPECT_EQ(q.pop().tag, 3u);
     EXPECT_EQ(q.pop().tag, 2u);
+}
+
+TEST(EventQueue, SchedulingBeforeTheCursorStillPopsInOrder)
+{
+    // The simulator never schedules into the past, but the API
+    // allows it; such events pop first, in (when, seq) order.
+    EventQueue q;
+    q.schedule(100, 1);
+    EXPECT_EQ(q.pop().when, 100u);
+    q.schedule(50, 2);
+    q.schedule(5, 3);
+    q.schedule(100, 4);
+    q.schedule(50, 5);
+    EXPECT_EQ(q.pop().tag, 3u); // t=5
+    EXPECT_EQ(q.pop().tag, 2u); // t=50, first inserted
+    EXPECT_EQ(q.pop().tag, 5u); // t=50, second inserted
+    EXPECT_EQ(q.pop().tag, 4u); // t=100
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FarAndNearEventsAtTheSameTickKeepFifoOrder)
+{
+    // tag 1 lands beyond the calendar window (far heap); after the
+    // cursor advances, tag 2 at the *same tick* lands in the
+    // calendar. FIFO tie-break must still pop 1 before 2.
+    EventQueue q;
+    q.schedule(10000, 1); // cursor 0: far
+    q.schedule(7000, 9);
+    EXPECT_EQ(q.pop().tag, 9u); // cursor -> 7000
+    q.schedule(10000, 2);       // now within the window: near
+    q.schedule(10000, 3);
+    EXPECT_EQ(q.pop().tag, 1u);
+    EXPECT_EQ(q.pop().tag, 2u);
+    EXPECT_EQ(q.pop().tag, 3u);
+}
+
+TEST(EventQueue, LongJumpsCrossTheCalendarWindow)
+{
+    // Page-operation-sized deltas overflow the near window; the far
+    // heap hands them back in order, including exact window edges.
+    EventQueue q;
+    q.schedule(0, 0);
+    q.schedule(1023, 1);  // last near bucket
+    q.schedule(1024, 2);  // first far tick
+    q.schedule(11500, 3); // a full page-op jump
+    for (std::uint32_t want = 0; want < 4; ++want)
+        EXPECT_EQ(q.pop().tag, want);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueParity, RandomizedStreamsMatchTheHeapReference)
+{
+    // Replay an event pattern shaped like the simulator's (bursts of
+    // small deltas, occasional barrier- and page-op-sized jumps,
+    // same-tick ties) through both queues; the pop sequences must be
+    // bit-identical, including seq numbers.
+    Rng rng(0xeeff01);
+    EventQueue cal;
+    HeapEventQueue heap;
+    Tick now = 0;
+    std::size_t pendingCount = 0;
+    for (int step = 0; step < 20000; ++step) {
+        bool doSchedule =
+            pendingCount == 0 || rng.chance(0.55);
+        if (doSchedule) {
+            Tick delta;
+            std::uint64_t shape = rng.below(100);
+            if (shape < 70)
+                delta = rng.below(16); // think-time / bus scale
+            else if (shape < 90)
+                delta = 60 + rng.below(400); // fill / fetch scale
+            else if (shape < 97)
+                delta = 3000 + rng.below(9000); // page ops
+            else
+                delta = 0; // exact tie on `now`
+            std::uint32_t tag =
+                static_cast<std::uint32_t>(rng.below(32));
+            cal.schedule(now + delta, tag);
+            heap.schedule(now + delta, tag);
+            pendingCount++;
+        } else {
+            ASSERT_EQ(cal.peekTime(), heap.peekTime());
+            Event a = cal.pop();
+            Event b = heap.pop();
+            ASSERT_EQ(a.when, b.when) << "step " << step;
+            ASSERT_EQ(a.seq, b.seq) << "step " << step;
+            ASSERT_EQ(a.tag, b.tag) << "step " << step;
+            now = a.when;
+            pendingCount--;
+        }
+        ASSERT_EQ(cal.pending(), heap.pending());
+    }
+    while (!cal.empty()) {
+        Event a = cal.pop();
+        Event b = heap.pop();
+        ASSERT_EQ(a.when, b.when);
+        ASSERT_EQ(a.seq, b.seq);
+        ASSERT_EQ(a.tag, b.tag);
+    }
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(cal.processed(), heap.processed());
+}
+
+TEST(EventQueueParity, MassTiesPreserveInsertionOrder)
+{
+    // Many events on few distinct ticks: the FIFO-per-bucket path.
+    EventQueue cal;
+    HeapEventQueue heap;
+    Rng rng(0xabc123);
+    for (int i = 0; i < 2000; ++i) {
+        Tick when = rng.below(8) * 7;
+        std::uint32_t tag = static_cast<std::uint32_t>(i);
+        cal.schedule(when, tag);
+        heap.schedule(when, tag);
+    }
+    std::uint32_t prevTag = 0;
+    Tick prevWhen = 0;
+    bool first = true;
+    while (!heap.empty()) {
+        Event a = cal.pop();
+        Event b = heap.pop();
+        ASSERT_EQ(a.seq, b.seq);
+        ASSERT_EQ(a.tag, b.tag);
+        if (!first && a.when == prevWhen) {
+            ASSERT_LT(prevTag, a.tag); // tags are insertion order
+        }
+        prevWhen = a.when;
+        prevTag = a.tag;
+        first = false;
+    }
+    EXPECT_TRUE(cal.empty());
 }
 
 } // namespace rnuma

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Link-and-anchor checker for the repo's curated markdown docs.
+
+Scans README.md, PAPER.md, and docs/**/*.md for inline markdown
+links and verifies that
+
+- relative file links resolve (relative to the containing file),
+- anchor fragments (`#section`, alone or on a relative link) match a
+  heading in the target file, using GitHub's slug rules,
+- reference-style definitions `[label]: target` resolve the same way.
+
+External (http/https/mailto) links are not fetched — this guards the
+doc set against internal rot, not the internet. Exits non-zero with
+one line per broken link. Run from anywhere:
+
+    python3 tools/check_markdown_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip punctuation, lowercase, hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    if path not in cache:
+        body = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = set()
+        seen = {}
+        for m in HEADING.finditer(body):
+            slug = slugify(m.group(1))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            n = seen.get(slug)
+            seen[slug] = 0 if n is None else n + 1
+            cache[path].add(slug if n is None else f"{slug}-{seen[slug]}")
+    return cache[path]
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "PAPER.md"]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    body = CODE_FENCE.sub("", text)
+    targets = INLINE_LINK.findall(body) + REF_DEF.findall(body)
+    for target in targets:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+            continue
+        rel = md.relative_to(REPO)
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{rel}: broken link '{target}'")
+                continue
+        else:
+            dest = md
+        if fragment:
+            if dest.suffix != ".md" or dest.is_dir():
+                continue  # anchors into non-markdown: not checked
+            if fragment.lower() not in anchors_of(dest):
+                errors.append(
+                    f"{rel}: broken anchor '{target}' "
+                    f"(no heading '#{fragment}' in "
+                    f"{dest.relative_to(REPO)})"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = []
+    files = doc_files()
+    for md in files:
+        errors.extend(check_file(md))
+    for e in errors:
+        print(f"FAIL: {e}")
+    print(
+        f"checked {len(files)} files: "
+        + ("OK" if not errors else f"{len(errors)} broken link(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

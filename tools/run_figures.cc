@@ -2,18 +2,29 @@
  * @file
  * rnuma_sweep: run any paper figure/table by name through the
  * thread-parallel sweep driver and emit human tables plus
- * machine-readable JSON/CSV results.
+ * machine-readable JSON/CSV results, optionally diffing them against
+ * a stored perf baseline.
  *
  * Usage: rnuma_sweep [options] <figure>... | all
- *   --list           print the known figure names and exit
- *   --scale S        workload scale (default: RNUMA_BENCH_SCALE or 1)
- *   --jobs N         worker threads; 0 = hardware concurrency
- *                    (default 1)
- *   --json-out FILE  write results as rnuma-sweep-results/v1 JSON
- *   --csv-out FILE   write results as flat CSV
- *   --verify         re-run each sweep serially and assert
- *                    bit-identical RunStats
- *   --quiet          suppress the per-figure human tables
+ *   --list               print the known figure names and exit
+ *   --scale S            workload scale (default: RNUMA_BENCH_SCALE
+ *                        or 1)
+ *   --jobs N             worker threads; 0 = hardware concurrency
+ *                        (default 1)
+ *   --json-out FILE      write results as rnuma-sweep-results/v2 JSON
+ *   --csv-out FILE       write results as flat CSV
+ *   --verify             re-run each sweep serially and assert
+ *                        bit-identical RunStats
+ *   --no-workload-cache  generate every cell's workload independently
+ *                        (isolation debugging; results are identical
+ *                        either way)
+ *   --compare FILE       diff results against a baseline JSON: exact
+ *                        per-cell ticks/events, thresholded wall time
+ *   --tolerance PCT      allowed wall-time growth for --compare
+ *                        (default 25; negative = determinism only)
+ *   --current FILE       with --compare and no figures: diff FILE
+ *                        against the baseline instead of running
+ *   --quiet              suppress the per-figure human tables
  */
 
 #include <cstdlib>
@@ -24,6 +35,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "driver/compare.hh"
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/result_sink.hh"
@@ -38,16 +50,24 @@ int
 usage(std::ostream &os, int status)
 {
     os << "usage: rnuma_sweep [options] <figure>... | all\n"
-          "  --list           list figure names\n"
-          "  --scale S        workload scale (default: "
+          "  --list               list figure names\n"
+          "  --scale S            workload scale (default: "
           "RNUMA_BENCH_SCALE or 1)\n"
-          "  --jobs N         worker threads (0 = hardware "
+          "  --jobs N             worker threads (0 = hardware "
           "concurrency; default 1)\n"
-          "  --json-out FILE  write rnuma-sweep-results/v1 JSON\n"
-          "  --csv-out FILE   write flat CSV\n"
-          "  --verify         assert serial/parallel RunStats are "
-          "bit-identical\n"
-          "  --quiet          suppress human-readable tables\n";
+          "  --json-out FILE      write rnuma-sweep-results/v2 JSON\n"
+          "  --csv-out FILE       write flat CSV\n"
+          "  --verify             assert serial/parallel RunStats "
+          "are bit-identical\n"
+          "  --no-workload-cache  disable the content-addressed "
+          "workload cache\n"
+          "  --compare FILE       diff results against a baseline "
+          "JSON (exit 4 on drift)\n"
+          "  --tolerance PCT      wall-time tolerance for --compare "
+          "(default 25)\n"
+          "  --current FILE       with --compare: diff FILE instead "
+          "of running figures\n"
+          "  --quiet              suppress human-readable tables\n";
     return status;
 }
 
@@ -88,6 +108,21 @@ emitJson(const std::string &path,
     return true;
 }
 
+/** Read a whole file; empty optional-style failure via bool. */
+bool
+slurp(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "rnuma_sweep: cannot read " << path << "\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
 } // namespace
 
 int
@@ -97,8 +132,12 @@ main(int argc, char **argv)
     std::size_t jobs = 1;
     std::string json_out;
     std::string csv_out;
+    std::string compare_path;
+    std::string current_path;
+    double tolerance = 25.0;
     bool verify = false;
     bool quiet = false;
+    bool cache_workloads = true;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -135,13 +174,29 @@ main(int argc, char **argv)
                 return 2;
             }
             jobs = static_cast<std::size_t>(j);
+        } else if (arg == "--tolerance") {
+            const char *val = next();
+            char *end = nullptr;
+            tolerance = std::strtod(val, &end);
+            if (end == val || *end != '\0') {
+                std::cerr << "rnuma_sweep: --tolerance wants a "
+                             "number (percent), got '" << val
+                          << "'\n";
+                return 2;
+            }
         }
         else if (arg == "--json-out")
             json_out = next();
         else if (arg == "--csv-out")
             csv_out = next();
+        else if (arg == "--compare")
+            compare_path = next();
+        else if (arg == "--current")
+            current_path = next();
         else if (arg == "--verify")
             verify = true;
+        else if (arg == "--no-workload-cache")
+            cache_workloads = false;
         else if (arg == "--quiet")
             quiet = true;
         else if (!arg.empty() && arg[0] == '-')
@@ -149,8 +204,17 @@ main(int argc, char **argv)
         else
             names.push_back(arg);
     }
-    if (names.empty())
+    if (!current_path.empty() && compare_path.empty()) {
+        std::cerr << "rnuma_sweep: --current requires --compare\n";
+        return 2;
+    }
+    if (names.empty() && current_path.empty())
         return usage(std::cerr, 2);
+    if (!names.empty() && !current_path.empty()) {
+        std::cerr << "rnuma_sweep: --current replaces running "
+                     "figures; drop the figure names\n";
+        return 2;
+    }
     if (names.size() == 1 && names[0] == "all") {
         names.clear();
         for (const FigureSpec &s : figureSpecs())
@@ -172,7 +236,8 @@ main(int argc, char **argv)
     std::vector<FigureRun> runs;
     runs.reserve(specs.size());
     for (const FigureSpec *spec : specs) {
-        FigureRun run = runFigure(*spec, scale, jobs, verify);
+        FigureRun run =
+            runFigure(*spec, scale, jobs, verify, cache_workloads);
         std::ostringstream table;
         int rc = renderFigure(*spec, run, table);
         if (!quiet) {
@@ -182,9 +247,14 @@ main(int argc, char **argv)
                       << run.result.cells.size() << " cells, "
                       << Table::num(run.wallMs) << " ms"
                       << (verify && run.jobs > 1
-                              ? ", serial/parallel verified" : "")
-                      << "\n\n"
-                      << table.str() << "\n";
+                              ? ", serial/parallel verified" : "");
+            if (run.result.workloadsGenerated > 0) {
+                std::cout << ", " << run.result.workloadsGenerated
+                          << " workloads generated ("
+                          << run.result.workloadCacheHits
+                          << " cache hits)";
+            }
+            std::cout << "\n\n" << table.str() << "\n";
         }
         if (rc > status)
             status = rc;
@@ -202,6 +272,35 @@ main(int argc, char **argv)
         } else {
             CsvSink().write(out, runs);
             std::cout << "wrote " << csv_out << "\n";
+        }
+    }
+
+    if (!compare_path.empty()) {
+        try {
+            std::string text;
+            if (!slurp(compare_path, text))
+                return 2;
+            ResultDoc baseline = loadResults(text);
+            ResultDoc current;
+            if (!current_path.empty()) {
+                std::string cur_text;
+                if (!slurp(current_path, cur_text))
+                    return 2;
+                current = loadResults(cur_text);
+            } else {
+                current = resultsOf(runs);
+            }
+            CompareOptions opt;
+            opt.wallTolerancePct = tolerance;
+            std::cout << "comparing against " << compare_path
+                      << " (" << baseline.schema << ")\n";
+            if (compareResults(baseline, current, opt, std::cout) >
+                0)
+                status = 4;
+        } catch (const std::exception &e) {
+            std::cerr << "rnuma_sweep: compare failed: " << e.what()
+                      << "\n";
+            return 2;
         }
     }
     return status;
