@@ -201,7 +201,7 @@ BM_SweepRunner(benchmark::State &state)
     // hosts the >1-job configurations should approach linear
     // speedup, since cells share no mutable state.
     const driver::FigureSpec *spec = driver::findFigure("micro");
-    driver::Sweep sweep = spec->build(0.05);
+    driver::Sweep sweep = spec->build({0.05});
     driver::SweepRunner runner(
         static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {

@@ -45,8 +45,10 @@ figureMain(const char *figure)
     RNUMA_ASSERT(spec, "no figure '", figure,
                  "' in the driver registry");
     printHeader(spec->title, spec->paperRef);
+    driver::FigureOptions opt;
+    opt.scale = benchScale();
     driver::FigureRun run = driver::runFigure(
-        *spec, benchScale(), benchJobs(), /*verify=*/false);
+        *spec, opt, benchJobs(), /*verify=*/false);
     return driver::renderFigure(*spec, run, std::cout);
 }
 

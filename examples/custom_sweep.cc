@@ -44,16 +44,19 @@ main(int argc, char **argv)
     std::string key = workloadCacheKey(app, base, scale);
     Params inf = base;
     inf.infiniteBlockCache = true;
-    sweep.add({app, "baseline", Protocol::CCNuma, inf, make, key});
+    sweep.add({app, "baseline", protocolSpec("ccnuma"), inf, make,
+               key});
     for (std::size_t T : thresholds) {
         for (std::size_t kb : cache_kb) {
+            // The threshold axis is a relocation-policy variant
+            // (staticThresholdSpec); the page-cache axis is real
+            // hardware, so it stays in Params.
             Params p = base;
-            p.relocationThreshold = T;
             p.pageCacheSize = kb * 1024;
             sweep.add({app,
                        "t" + std::to_string(T) + "-p" +
                            std::to_string(kb) + "k",
-                       Protocol::RNuma, p, make, key});
+                       staticThresholdSpec(T), p, make, key});
         }
     }
 

@@ -1,0 +1,237 @@
+#include "core/relocation_policy.hh"
+
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+std::uint64_t
+countIn(const std::unordered_map<Addr, std::uint64_t> &counts,
+        Addr page)
+{
+    auto it = counts.find(page);
+    return it == counts.end() ? 0 : it->second;
+}
+
+} // namespace
+
+//--------------------------------------------------------------------------
+// StaticThresholdPolicy
+//--------------------------------------------------------------------------
+
+StaticThresholdPolicy::StaticThresholdPolicy(std::size_t threshold)
+    : thresh(threshold)
+{
+    RNUMA_ASSERT(thresh >= 1, "threshold must be at least 1");
+}
+
+bool
+StaticThresholdPolicy::onRefetch(Addr page)
+{
+    std::uint64_t &c = counts[page];
+    if (++c >= thresh) {
+        counts.erase(page);
+        return true;
+    }
+    return false;
+}
+
+void
+StaticThresholdPolicy::onRelocated(Addr page)
+{
+    counts.erase(page);
+}
+
+void
+StaticThresholdPolicy::onEvicted(Addr page)
+{
+    counts.erase(page);
+}
+
+void
+StaticThresholdPolicy::reset(Addr page)
+{
+    counts.erase(page);
+}
+
+std::uint64_t
+StaticThresholdPolicy::count(Addr page) const
+{
+    return countIn(counts, page);
+}
+
+std::size_t
+StaticThresholdPolicy::trackedPages() const
+{
+    return counts.size();
+}
+
+std::string
+StaticThresholdPolicy::describe() const
+{
+    return "static(T=" + std::to_string(thresh) + ")";
+}
+
+//--------------------------------------------------------------------------
+// HysteresisPolicy
+//--------------------------------------------------------------------------
+
+HysteresisPolicy::HysteresisPolicy(std::size_t relocateThreshold,
+                                   std::size_t revertedThreshold)
+    : relocT(relocateThreshold), revertT(revertedThreshold)
+{
+    RNUMA_ASSERT(relocT >= 1, "relocate threshold must be at least 1");
+    RNUMA_ASSERT(revertT >= relocT,
+                 "reverted threshold (", revertT,
+                 ") must not be below the relocate threshold (",
+                 relocT, ")");
+}
+
+std::size_t
+HysteresisPolicy::thresholdOf(Addr page) const
+{
+    return reverted.count(page) ? revertT : relocT;
+}
+
+bool
+HysteresisPolicy::onRefetch(Addr page)
+{
+    std::uint64_t &c = counts[page];
+    if (++c >= thresholdOf(page)) {
+        counts.erase(page);
+        return true;
+    }
+    return false;
+}
+
+void
+HysteresisPolicy::onRelocated(Addr page)
+{
+    counts.erase(page);
+}
+
+void
+HysteresisPolicy::onEvicted(Addr page)
+{
+    counts.erase(page);
+    reverted.insert(page);
+}
+
+void
+HysteresisPolicy::reset(Addr page)
+{
+    counts.erase(page);
+    reverted.erase(page);
+}
+
+std::uint64_t
+HysteresisPolicy::count(Addr page) const
+{
+    return countIn(counts, page);
+}
+
+std::size_t
+HysteresisPolicy::trackedPages() const
+{
+    // Live state is a pending counter or a reverted mark; count the
+    // union, not just the counters.
+    std::size_t n = counts.size();
+    for (Addr page : reverted)
+        if (!counts.count(page))
+            n++;
+    return n;
+}
+
+std::string
+HysteresisPolicy::describe() const
+{
+    return "hysteresis(T=" + std::to_string(relocT) +
+        ",T_reverted=" + std::to_string(revertT) + ")";
+}
+
+//--------------------------------------------------------------------------
+// AdaptiveThresholdPolicy
+//--------------------------------------------------------------------------
+
+AdaptiveThresholdPolicy::AdaptiveThresholdPolicy(
+    std::size_t initialThreshold, std::size_t minThreshold,
+    std::size_t maxThreshold)
+    : initialT(initialThreshold), minT(minThreshold),
+      maxT(maxThreshold)
+{
+    RNUMA_ASSERT(minT >= 1, "minimum threshold must be at least 1");
+    RNUMA_ASSERT(minT <= initialT && initialT <= maxT,
+                 "need min <= initial <= max, got ", minT, " / ",
+                 initialT, " / ", maxT);
+}
+
+std::size_t
+AdaptiveThresholdPolicy::thresholdOf(Addr page) const
+{
+    auto it = perPageT.find(page);
+    return it == perPageT.end() ? initialT : it->second;
+}
+
+bool
+AdaptiveThresholdPolicy::onRefetch(Addr page)
+{
+    std::uint64_t &c = counts[page];
+    if (++c >= thresholdOf(page)) {
+        counts.erase(page);
+        return true;
+    }
+    return false;
+}
+
+void
+AdaptiveThresholdPolicy::onRelocated(Addr page)
+{
+    counts.erase(page);
+    std::size_t t = thresholdOf(page) / 2;
+    perPageT[page] = t < minT ? minT : t;
+}
+
+void
+AdaptiveThresholdPolicy::onEvicted(Addr page)
+{
+    counts.erase(page);
+    std::size_t t = thresholdOf(page) * 2;
+    perPageT[page] = t > maxT ? maxT : t;
+}
+
+void
+AdaptiveThresholdPolicy::reset(Addr page)
+{
+    counts.erase(page);
+    perPageT.erase(page);
+}
+
+std::uint64_t
+AdaptiveThresholdPolicy::count(Addr page) const
+{
+    return countIn(counts, page);
+}
+
+std::size_t
+AdaptiveThresholdPolicy::trackedPages() const
+{
+    // Live state is a pending counter or an adapted threshold;
+    // count the union, not just the counters.
+    std::size_t n = counts.size();
+    for (const auto &kv : perPageT)
+        if (!counts.count(kv.first))
+            n++;
+    return n;
+}
+
+std::string
+AdaptiveThresholdPolicy::describe() const
+{
+    return "adaptive(T0=" + std::to_string(initialT) + ",min=" +
+        std::to_string(minT) + ",max=" + std::to_string(maxT) + ")";
+}
+
+} // namespace rnuma

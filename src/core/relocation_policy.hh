@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The relocation-decision API — the paper's central mechanism made
+ * pluggable. Section 3.1 layers a small per-page decision rule on a
+ * hybrid (block cache + page cache) RAD: count block refetches
+ * (capacity/conflict misses on blocks the directory believes the
+ * node already has) and relocate the page into the page cache when
+ * the count crosses a threshold T. The threshold-sensitivity study
+ * (Figure 8) and the Eq 3 worst-case bound are statements about that
+ * rule, not about the RAD — so the rule is an interface here, and
+ * the paper's fixed-T rule is just its first implementation.
+ *
+ * A RelocationPolicy is per-node state driven by three notifications
+ * from the hybrid RAD:
+ *
+ *   onRefetch(page)   — one refetch on a CC-NUMA-mode page; the
+ *                       return value decides relocation *now*
+ *   onRelocated(page) — the OS moved the page into the page cache
+ *   onEvicted(page)   — the page cache replaced the page; it reverts
+ *                       to CC-NUMA on its next touch
+ *
+ * Implementations: StaticThresholdPolicy (the paper's rule, exactly
+ * the pre-registry counter semantics), HysteresisPolicy (reverted
+ * pages need a higher count to relocate again, suppressing
+ * ping-pong), AdaptiveThresholdPolicy (per-page T halves on
+ * demonstrated reuse and doubles on eviction, approximating the
+ * Eq 3 optimum online).
+ */
+
+#ifndef RNUMA_CORE_RELOCATION_POLICY_HH
+#define RNUMA_CORE_RELOCATION_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace rnuma
+{
+
+/** Per-node, per-page relocation decision rule (see file comment). */
+class RelocationPolicy
+{
+  public:
+    virtual ~RelocationPolicy() = default;
+
+    /**
+     * Record one refetch against @p page (CC-NUMA mode).
+     * @return true exactly when the relocation interrupt should fire
+     *         now; the page's pending count is consumed.
+     */
+    virtual bool onRefetch(Addr page) = 0;
+
+    /** The page was relocated into the page cache. */
+    virtual void onRelocated(Addr page) = 0;
+
+    /** The page was evicted from the page cache (reverts to CC-NUMA). */
+    virtual void onEvicted(Addr page) = 0;
+
+    /** Drop all per-page state for @p page (unmap). */
+    virtual void reset(Addr page) = 0;
+
+    /** Current pending refetch count for a page. */
+    virtual std::uint64_t count(Addr page) const = 0;
+
+    /** Number of pages with live policy state. */
+    virtual std::size_t trackedPages() const = 0;
+
+    /** Human-readable summary, e.g. "static(T=64)". */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * The paper's rule (Section 3.1): a fixed threshold T. Fires on the
+ * T-th refetch; the counter resets on fire, relocation, or eviction.
+ * Bit-identical to the pre-registry ReactivePolicy counters.
+ */
+class StaticThresholdPolicy : public RelocationPolicy
+{
+  public:
+    /** @param threshold refetches before relocation (base: 64). */
+    explicit StaticThresholdPolicy(std::size_t threshold);
+
+    bool onRefetch(Addr page) override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** Configured threshold T. */
+    std::size_t threshold() const { return thresh; }
+
+  private:
+    std::size_t thresh;
+    std::unordered_map<Addr, std::uint64_t> counts;
+};
+
+/**
+ * Static threshold with hysteresis: a page relocates after
+ * @p relocateThreshold refetches the first time, but once it has
+ * been evicted from the page cache (i.e. a relocation was undone), a
+ * subsequent relocation requires the higher @p revertedThreshold.
+ * Pages that ping-pong between modes — relocate, fall out, refetch,
+ * relocate again — pay the page-operation cost over and over under
+ * the static rule; the raised re-entry bar suppresses that cycle
+ * while leaving first-time relocations as cheap as ever.
+ */
+class HysteresisPolicy : public RelocationPolicy
+{
+  public:
+    /**
+     * @param relocateThreshold refetches before a first relocation
+     * @param revertedThreshold refetches before re-relocating a page
+     *        that was evicted (must be >= relocateThreshold)
+     */
+    HysteresisPolicy(std::size_t relocateThreshold,
+                     std::size_t revertedThreshold);
+
+    bool onRefetch(Addr page) override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** The threshold currently governing @p page. */
+    std::size_t thresholdOf(Addr page) const;
+
+  private:
+    std::size_t relocT;
+    std::size_t revertT;
+    std::unordered_map<Addr, std::uint64_t> counts;
+    std::unordered_set<Addr> reverted; ///< pages evicted at least once
+};
+
+/**
+ * Per-page dynamic threshold approximating the Eq 3 optimum online.
+ * Every page starts at the configured initial T. A relocation that
+ * proves out (the page earned its way into the page cache) halves
+ * the page's T — demonstrated reuse pages re-relocate sooner after a
+ * future eviction, approaching the analytic optimum T* where the
+ * relocation cost amortizes fastest. An eviction doubles the page's
+ * T — a relocation that did not stick raises the bar, bounding the
+ * worst-case adversary loss (Section 3.2). T is clamped to
+ * [minThreshold, maxThreshold].
+ */
+class AdaptiveThresholdPolicy : public RelocationPolicy
+{
+  public:
+    AdaptiveThresholdPolicy(std::size_t initialThreshold,
+                            std::size_t minThreshold,
+                            std::size_t maxThreshold);
+
+    bool onRefetch(Addr page) override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** The threshold currently governing @p page. */
+    std::size_t thresholdOf(Addr page) const;
+
+  private:
+    std::size_t initialT;
+    std::size_t minT;
+    std::size_t maxT;
+    std::unordered_map<Addr, std::uint64_t> counts;
+    std::unordered_map<Addr, std::size_t> perPageT;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_CORE_RELOCATION_POLICY_HH

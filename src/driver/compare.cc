@@ -1,9 +1,11 @@
 #include "driver/compare.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "driver/json.hh"
+#include "proto/registry.hh"
 
 namespace rnuma::driver
 {
@@ -59,6 +61,15 @@ ResultDoc::find(const std::string &name) const
     return nullptr;
 }
 
+int
+ResultDoc::version() const
+{
+    const std::string prefix = "rnuma-sweep-results/v";
+    if (schema.rfind(prefix, 0) != 0)
+        return 0;
+    return std::atoi(schema.c_str() + prefix.size());
+}
+
 ResultDoc
 loadResults(const std::string &json_text)
 {
@@ -85,6 +96,13 @@ loadResults(const std::string &json_text)
                 ResultCell c;
                 c.app = stringOr(jc.get("app"), "?");
                 c.config = stringOr(jc.get("config"), "?");
+                // Enum-era labels ("CC-NUMA") canonicalize to the
+                // stable registry ids ("ccnuma") on load, so v1/v2
+                // baselines diff cleanly against v3 results.
+                std::string proto =
+                    stringOr(jc.get("protocol"), "");
+                if (!proto.empty())
+                    c.protocol = canonicalProtocolId(proto);
                 c.wallMs = numberOr(jc.get("wall_ms"), 0);
                 const JsonValue *stats = jc.get("stats");
                 if (stats) {
@@ -109,7 +127,7 @@ ResultDoc
 resultsOf(const std::vector<FigureRun> &runs)
 {
     ResultDoc out;
-    out.schema = "rnuma-sweep-results/v2";
+    out.schema = "rnuma-sweep-results/v3";
     for (const FigureRun &run : runs) {
         ResultFigure f;
         f.name = run.name;
@@ -120,6 +138,7 @@ resultsOf(const std::vector<FigureRun> &runs)
             ResultCell rc;
             rc.app = c.app;
             rc.config = c.config;
+            rc.protocol = c.protocol;
             rc.ticks = c.stats.ticks;
             rc.events = c.stats.events;
             rc.hasEvents = true;
@@ -140,6 +159,11 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
         violations++;
         os << "FAIL: " << msg << "\n";
     };
+    // Pre-v3 baselines carry enum-era display names that collapse
+    // policy variants (every fig8 threshold cell was "R-NUMA"), so a
+    // protocol-id change against them is informational only.
+    bool protocolComparable =
+        baseline.version() >= 3 && current.version() >= 3;
 
     for (const ResultFigure &bf : baseline.figures) {
         const ResultFigure *cf = current.find(bf.name);
@@ -178,6 +202,20 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
                      std::to_string(bc.events) + ", current " +
                      std::to_string(cc->events) + ")");
                 figure_drift++;
+            }
+            if (!bc.protocol.empty() && !cc->protocol.empty() &&
+                bc.protocol != cc->protocol) {
+                std::string msg = bf.name + "/" + bc.app + "/" +
+                    bc.config + ": protocol changed (baseline '" +
+                    bc.protocol + "', current '" + cc->protocol +
+                    "')";
+                if (protocolComparable) {
+                    fail(msg);
+                    figure_drift++;
+                } else {
+                    os << "note: " << msg
+                       << " — pre-v3 baseline, label shim only\n";
+                }
             }
         }
         for (const ResultCell &cc : cf->cells) {

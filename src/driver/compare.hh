@@ -27,6 +27,13 @@ struct ResultCell
 {
     std::string app;
     std::string config;
+    /**
+     * Canonical protocol id, already passed through
+     * canonicalProtocolId(): enum-era labels in v1/v2 baselines
+     * ("CC-NUMA") read back as the stable id ("ccnuma"). Empty when
+     * the document carried none.
+     */
+    std::string protocol;
     std::uint64_t ticks = 0;
     /** Scheduler events; hasEvents false for v1 baselines. */
     std::uint64_t events = 0;
@@ -47,19 +54,22 @@ struct ResultFigure
                            const std::string &config) const;
 };
 
-/** A parsed results document (either schema version). */
+/** A parsed results document (any schema version). */
 struct ResultDoc
 {
     std::string schema;
     std::vector<ResultFigure> figures;
 
     const ResultFigure *find(const std::string &name) const;
+
+    /** Numeric schema version (the N of rnuma-sweep-results/vN). */
+    int version() const;
 };
 
 /**
  * Extract the comparable slice from a parsed rnuma-sweep-results
- * document (v1 or v2). Throws std::runtime_error on documents that
- * are not sweep results at all.
+ * document (v1, v2, or v3). Throws std::runtime_error on documents
+ * that are not sweep results at all.
  */
 ResultDoc loadResults(const std::string &json_text);
 
@@ -86,6 +96,12 @@ struct CompareOptions
  * - per-cell `ticks` or `events` drift — exact comparison, any
  *   difference fails (the simulator is deterministic, so drift means
  *   behavior changed without the baseline being re-recorded);
+ * - a cell's canonical protocol id changing, when BOTH documents are
+ *   v3 or newer (pre-v3 baselines carry enum-era labels that cannot
+ *   distinguish policy variants — e.g. fig8's per-threshold specs
+ *   all serialized as "R-NUMA" — so against those the id change is a
+ *   note, not a violation: the string-mapping shim that keeps the
+ *   first post-registry PR from false-failing on an old artifact);
  * - per-figure wall time above baseline by more than the tolerance.
  *
  * Figures whose scale differs from the baseline's are a violation

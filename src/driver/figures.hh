@@ -21,6 +21,31 @@
 namespace rnuma::driver
 {
 
+/**
+ * Inputs a figure's sweep is built from; converts implicitly from a
+ * bare scale (`build({0.1})`) for the common case.
+ */
+struct FigureOptions
+{
+    FigureOptions() = default;
+    FigureOptions(double s) : scale(s) {}
+    FigureOptions(double s, std::vector<std::string> protos)
+        : scale(s), protocols(std::move(protos))
+    {
+    }
+
+    /** Workload input scale. */
+    double scale = 1.0;
+    /**
+     * Registry protocol names for protocol-parametric figures (the
+     * "policies" sweep; the CLI's repeatable --protocol flag).
+     * Empty means the figure's default selection — every registered
+     * protocol for "policies". Figures with a fixed system set
+     * (fig5-9, the tables) ignore it.
+     */
+    std::vector<std::string> protocols;
+};
+
 /** One figure/table: identity, lazy sweep builder, table renderer. */
 struct FigureSpec
 {
@@ -28,8 +53,8 @@ struct FigureSpec
     const char *title;
     const char *paperRef;
 
-    /** Build the cell list for a workload scale (cheap; lazy). */
-    Sweep (*build)(double scale);
+    /** Build the cell list from the options (cheap; lazy). */
+    Sweep (*build)(const FigureOptions &opt);
 
     /**
      * Print the figure's table and commentary from the executed
@@ -39,7 +64,11 @@ struct FigureSpec
     int (*render)(const FigureRun &run, std::ostream &os);
 };
 
-/** All figures, in paper order: fig5-9, table2/4, eq3, ablation, micro. */
+/**
+ * All figures, in paper order — fig5-9, table2/4, eq3, ablation,
+ * micro — plus "policies", the registry-driven relocation-policy
+ * sweep.
+ */
 const std::vector<FigureSpec> &figureSpecs();
 
 /** Look a figure up by CLI name; nullptr when unknown. */
@@ -53,11 +82,13 @@ const FigureSpec *findFigure(const std::string &name);
  * expose); a serial run is itself the reference, so verify is a
  * no-op there. @p cacheWorkloads toggles the runner's
  * content-addressed workload cache (the CLI's --no-workload-cache
- * passes false).
+ * passes false); @p sharedCache optionally attaches a process-scope
+ * WorkloadCache so workloads generate once across figures.
  */
-FigureRun runFigure(const FigureSpec &spec, double scale,
+FigureRun runFigure(const FigureSpec &spec, const FigureOptions &opt,
                     std::size_t jobs, bool verify,
-                    bool cacheWorkloads = true);
+                    bool cacheWorkloads = true,
+                    WorkloadCache *sharedCache = nullptr);
 
 /** Render @p run with its spec's renderer, recording the status. */
 int renderFigure(const FigureSpec &spec, FigureRun &run,

@@ -9,10 +9,15 @@ namespace rnuma::driver
 namespace
 {
 
-// v2: adds per-cell "events" (in stats) and "events_per_sec", plus
+// v2 added per-cell "events" (in stats) and "events_per_sec", plus
 // the figure-level workload-cache counters — the fields the
-// perf-baseline gate (rnuma_sweep --compare) consumes.
-constexpr const char *schemaName = "rnuma-sweep-results/v2";
+// perf-baseline gate (rnuma_sweep --compare) consumes. v3 switches
+// the per-cell "protocol" field from the enum-era display name
+// ("CC-NUMA") to the registry's stable spec id ("ccnuma",
+// "rnuma-t16", ...) and adds "protocol_name" with the display name;
+// the gate canonicalizes enum-era labels when reading older
+// baselines.
+constexpr const char *schemaName = "rnuma-sweep-results/v3";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -115,7 +120,9 @@ JsonSink::write(std::ostream &os,
             w.key("config");
             w.value(c.config);
             w.key("protocol");
-            w.value(protocolName(c.protocol));
+            w.value(c.protocol);
+            w.key("protocol_name");
+            w.value(c.protocolName);
             w.key("wall_ms");
             w.value(c.wallMs);
             w.key("events_per_sec");
@@ -148,7 +155,7 @@ CsvSink::write(std::ostream &os,
     for (const FigureRun &run : runs) {
         for (const CellResult &c : run.result.cells) {
             os << run.name << "," << run.scale << "," << c.app << ","
-               << c.config << "," << protocolName(c.protocol) << ","
+               << c.config << "," << c.protocol << ","
                << c.wallMs << "," << c.eventsPerSec();
             for (const StatField &f : statFields())
                 os << "," << f.get(c.stats);
@@ -168,7 +175,7 @@ TableSink::write(std::ostream &os,
         Table t({"app", "config", "protocol", "ticks", "refs",
                  "remote fetches", "refetches", "relocations"});
         for (const CellResult &c : run.result.cells) {
-            t.addRow({c.app, c.config, protocolName(c.protocol),
+            t.addRow({c.app, c.config, c.protocol,
                       std::to_string(c.stats.ticks),
                       std::to_string(c.stats.refs),
                       std::to_string(c.stats.remoteFetches),

@@ -81,6 +81,8 @@ Sweep::add(Cell c)
 {
     RNUMA_ASSERT(c.make, "cell (", c.app, ", ", c.config,
                  ") has no workload factory");
+    RNUMA_ASSERT(c.proto.valid(), "cell (", c.app, ", ", c.config,
+                 ") has no protocol spec");
     for (const Cell &prev : cells_) {
         if (prev.app == c.app && prev.config == c.config) {
             RNUMA_FATAL("duplicate cell (", c.app, ", ", c.config,
@@ -92,13 +94,13 @@ Sweep::add(Cell c)
 
 void
 Sweep::addApp(const std::string &app, const std::string &config,
-              const Params &p, Protocol proto, double scale,
-              std::uint64_t seed)
+              const Params &p, const std::string &proto,
+              double scale, std::uint64_t seed)
 {
     Cell c;
     c.app = app;
     c.config = config;
-    c.protocol = proto;
+    c.proto = protocolSpec(proto);
     c.params = p;
     c.make = appFactory(app, p, scale, seed);
     c.workloadKey = workloadCacheKey(app, p, scale, seed);
@@ -112,7 +114,7 @@ Sweep::addBaseline(const std::string &app, const Params &p,
     Cell c;
     c.app = app;
     c.config = "baseline";
-    c.protocol = Protocol::CCNuma;
+    c.proto = protocolSpec("ccnuma");
     c.params = p;
     c.params.infiniteBlockCache = true;
     c.make = appFactory(app, p, scale, seed);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/params.hh"
+#include "proto/registry.hh"
 #include "workload/workload.hh"
 
 namespace rnuma::driver
@@ -63,7 +64,13 @@ struct Cell
 {
     std::string app;    ///< row label (application / pattern name)
     std::string config; ///< column label, unique per app in a sweep
-    Protocol protocol = Protocol::CCNuma;
+    /**
+     * The system this cell runs, by value: usually a copy of a
+     * registry entry (protocolSpec("rnuma")), but ad-hoc variants —
+     * Figure 8's staticThresholdSpec(T) cells — need no global
+     * registration. spec.id is what the JSON artifact records.
+     */
+    ProtocolSpec proto;
     Params params;      ///< the configuration the cell *runs* under
     WorkloadFactory make;
     /**
@@ -87,13 +94,14 @@ class Sweep
 
     /**
      * Append a registry-app cell that also generates its workload
-     * from @p p. Convenience for sweeps whose rows do not vary
-     * generation-relevant Params across columns; otherwise build one
-     * appFactory() per row and add() cells sharing it.
+     * from @p p, running the registered protocol named @p proto
+     * (fatal when unknown). Convenience for sweeps whose rows do not
+     * vary generation-relevant Params across columns; otherwise
+     * build one appFactory() per row and add() cells sharing it.
      */
     void addApp(const std::string &app, const std::string &config,
-                const Params &p, Protocol proto, double scale,
-                std::uint64_t seed = 1);
+                const Params &p, const std::string &proto,
+                double scale, std::uint64_t seed = 1);
 
     /**
      * Append the Figure 6 normalization baseline for @p app: CC-NUMA

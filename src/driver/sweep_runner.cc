@@ -51,6 +51,52 @@ SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs)
     }
 }
 
+std::shared_ptr<const VectorWorkload>
+WorkloadCache::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second;
+}
+
+void
+WorkloadCache::insert(const std::string &key,
+                      std::shared_ptr<const VectorWorkload> snapshot)
+{
+    RNUMA_ASSERT(snapshot, "caching a null workload snapshot");
+    std::lock_guard<std::mutex> lock(m_);
+    map_.emplace(key, std::move(snapshot));
+}
+
+void
+WorkloadCache::recordRun(std::size_t generated, std::size_t hits)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    generated_ += generated;
+    hits_ += hits;
+}
+
+std::size_t
+WorkloadCache::generated() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return generated_;
+}
+
+std::size_t
+WorkloadCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return hits_;
+}
+
+std::size_t
+WorkloadCache::snapshots() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return map_.size();
+}
+
 namespace
 {
 
@@ -91,7 +137,8 @@ runCell(const Cell &cell, const SnapshotMap &snapshots,
     CellResult r;
     r.app = cell.app;
     r.config = cell.config;
-    r.protocol = cell.protocol;
+    r.protocol = cell.proto.id;
+    r.protocolName = cell.proto.displayName;
 
     auto t0 = std::chrono::steady_clock::now();
     std::unique_ptr<Workload> wl;
@@ -106,7 +153,7 @@ runCell(const Cell &cell, const SnapshotMap &snapshots,
         wl = cell.make();
     RNUMA_ASSERT(wl, "cell (", cell.app, ", ", cell.config,
                  ") factory returned no workload");
-    r.stats = runProtocol(cell.params, cell.protocol, *wl);
+    r.stats = runProtocol(cell.params, cell.proto, *wl);
     auto t1 = std::chrono::steady_clock::now();
     r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
                    .count();
@@ -123,9 +170,12 @@ SweepRunner::run(const Sweep &sweep) const
     result.cells.resize(cells.size());
 
     // Phase 1 (cache enabled): generate each distinct keyed workload
-    // once, concurrently. A keyed factory whose product is not a
-    // VectorWorkload cannot be snapshotted and falls back to per-cell
-    // generation.
+    // once, concurrently. Keys already present in an attached
+    // process-scope WorkloadCache are served from it without
+    // generating (a cross-figure hit); freshly generated snapshots
+    // are published back to it. A keyed factory whose product is not
+    // a VectorWorkload cannot be snapshotted and falls back to
+    // per-cell generation.
     SnapshotMap snapshots;
     LeftoverPool leftovers;
     if (cache_) {
@@ -134,6 +184,14 @@ SweepRunner::run(const Sweep &sweep) const
             if (c.workloadKey.empty() ||
                 snapshots.count(c.workloadKey))
                 continue;
+            if (shared_) {
+                auto snap = shared_->find(c.workloadKey);
+                if (snap) {
+                    snapshots.emplace(c.workloadKey,
+                                      std::move(snap));
+                    continue;
+                }
+            }
             snapshots.emplace(c.workloadKey, nullptr);
             generators.push_back(&c);
         }
@@ -164,11 +222,20 @@ SweepRunner::run(const Sweep &sweep) const
             if (it != snapshots.end() && it->second)
                 served++;
         }
-        for (const auto &kv : snapshots)
-            if (kv.second)
+        for (const Cell *c : generators)
+            if (snapshots[c->workloadKey])
                 result.workloadsGenerated++;
         result.workloadCacheHits =
             served - result.workloadsGenerated;
+        if (shared_) {
+            for (const Cell *c : generators) {
+                auto &snap = snapshots[c->workloadKey];
+                if (snap)
+                    shared_->insert(c->workloadKey, snap);
+            }
+            shared_->recordRun(result.workloadsGenerated,
+                               result.workloadCacheHits);
+        }
     }
 
     // Phase 2: run every cell. Each task writes only its own slot,

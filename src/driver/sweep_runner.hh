@@ -20,7 +20,10 @@
 #ifndef RNUMA_DRIVER_SWEEP_RUNNER_HH
 #define RNUMA_DRIVER_SWEEP_RUNNER_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -34,7 +37,8 @@ struct CellResult
 {
     std::string app;
     std::string config;
-    Protocol protocol = Protocol::CCNuma;
+    std::string protocol;     ///< stable spec id ("ccnuma", ...)
+    std::string protocolName; ///< display name ("CC-NUMA", ...)
     RunStats stats;
     double wallMs = 0; ///< host wall-clock time for this cell
 
@@ -60,6 +64,45 @@ struct SweepResult
     /** Find a cell by labels; fatal when absent. */
     const CellResult &at(const std::string &app,
                          const std::string &config) const;
+};
+
+/**
+ * A process-scope content-addressed store of generated workload
+ * snapshots, shareable across SweepRunner::run() invocations: attach
+ * one via SweepRunner::shareCache() and figures whose cells key the
+ * same (app, gen-params, scale, seed) — fig5/fig6/table4's base
+ * workloads in `rnuma_sweep all` — generate it once per process
+ * instead of once per figure. Thread-safe; also aggregates
+ * generated/hit counts across every run it served (the CLI's
+ * end-of-run summary line).
+ */
+class WorkloadCache
+{
+  public:
+    /** Snapshot for @p key; nullptr when not cached. */
+    std::shared_ptr<const VectorWorkload>
+    find(const std::string &key) const;
+
+    /** Store a snapshot (first writer wins). */
+    void insert(const std::string &key,
+                std::shared_ptr<const VectorWorkload> snapshot);
+
+    /** Fold one run's counters into the process aggregates. */
+    void recordRun(std::size_t generated, std::size_t hits);
+
+    //--- Aggregates over every run served ------------------------------
+    std::size_t generated() const;
+    std::size_t hits() const;
+    /** Distinct snapshots currently held. */
+    std::size_t snapshots() const;
+
+  private:
+    mutable std::mutex m_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const VectorWorkload>>
+        map_;
+    std::size_t generated_ = 0;
+    std::size_t hits_ = 0;
 };
 
 /** Executes sweeps with a fixed concurrency level. */
@@ -88,9 +131,23 @@ class SweepRunner
     }
     bool workloadCacheEnabled() const { return cache_; }
 
+    /**
+     * Attach a process-scope snapshot store shared across run()
+     * invocations (and across runners). Null (the default) keeps
+     * every run()'s cache private, exactly the pre-process-cache
+     * behavior. Ignored while cacheWorkloads(false).
+     */
+    SweepRunner &
+    shareCache(WorkloadCache *shared)
+    {
+        shared_ = shared;
+        return *this;
+    }
+
   private:
     std::size_t jobs_;
     bool cache_ = true;
+    WorkloadCache *shared_ = nullptr;
 };
 
 /**

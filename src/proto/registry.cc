@@ -1,0 +1,229 @@
+#include "proto/registry.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "rad/ccnuma_rad.hh"
+#include "rad/rnuma_rad.hh"
+#include "rad/scoma_rad.hh"
+
+namespace rnuma
+{
+
+std::string
+canonicalProtocolId(const std::string &name)
+{
+    std::string s;
+    s.reserve(name.size());
+    for (char c : name)
+        s.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    // Enum-era display names (protocolName()) map onto the stable
+    // ids so pre-registry baselines and call sites keep resolving.
+    if (s == "cc-numa")
+        return "ccnuma";
+    if (s == "s-coma")
+        return "scoma";
+    if (s == "r-numa")
+        return "rnuma";
+    return s;
+}
+
+ProtocolSpec
+hybridSpec(std::string id, std::string displayName,
+           std::string description, PolicyFactory policy)
+{
+    RNUMA_ASSERT(policy, "hybrid spec '", id, "' needs a policy");
+    ProtocolSpec s;
+    s.id = std::move(id);
+    s.displayName = std::move(displayName);
+    s.description = std::move(description);
+    s.makePolicy = policy;
+    s.makeRad = [policy](const Params &p, NodeId node, RadDeps deps) {
+        return std::unique_ptr<Rad>(
+            std::make_unique<RNumaRad>(p, node, deps, policy(p)));
+    };
+    return s;
+}
+
+ProtocolSpec
+staticThresholdSpec(std::size_t threshold)
+{
+    return hybridSpec(
+        "rnuma-t" + std::to_string(threshold),
+        "R-NUMA(T=" + std::to_string(threshold) + ")",
+        "R-NUMA with the relocation threshold pinned to " +
+            std::to_string(threshold),
+        [threshold](const Params &) {
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<StaticThresholdPolicy>(threshold));
+        });
+}
+
+ProtocolRegistry::ProtocolRegistry()
+{
+    ProtocolSpec cc;
+    cc.id = "ccnuma";
+    cc.displayName = "CC-NUMA";
+    cc.description =
+        "block cache only; remote data cached at 32 B granularity";
+    cc.makeRad = [](const Params &p, NodeId node, RadDeps deps) {
+        return std::unique_ptr<Rad>(
+            std::make_unique<CcNumaRad>(p, node, deps));
+    };
+    add(std::move(cc));
+
+    ProtocolSpec sc;
+    sc.id = "scoma";
+    sc.displayName = "S-COMA";
+    sc.description =
+        "page cache only; remote pages allocated in local memory";
+    sc.makeRad = [](const Params &p, NodeId node, RadDeps deps) {
+        return std::unique_ptr<Rad>(
+            std::make_unique<SComaRad>(p, node, deps));
+    };
+    add(std::move(sc));
+
+    add(hybridSpec(
+        "rnuma", "R-NUMA",
+        "hybrid RAD; pages relocate after "
+        "Params::relocationThreshold refetches (Section 3.1)",
+        [](const Params &p) {
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<StaticThresholdPolicy>(
+                    p.relocationThreshold));
+        }));
+
+    add(hybridSpec(
+        "rnuma-hysteresis", "R-NUMA(hyst)",
+        "hybrid RAD; pages evicted from the page cache need 4x the "
+        "refetches to relocate again (no ping-pong)",
+        [](const Params &p) {
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<HysteresisPolicy>(
+                    p.relocationThreshold,
+                    4 * p.relocationThreshold));
+        }));
+
+    add(hybridSpec(
+        "rnuma-adaptive", "R-NUMA(adapt)",
+        "hybrid RAD; per-page threshold halves on relocation and "
+        "doubles on eviction, tracking the Eq 3 optimum",
+        [](const Params &p) {
+            std::size_t t = p.relocationThreshold;
+            std::size_t lo = t / 16 < 1 ? 1 : t / 16;
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<AdaptiveThresholdPolicy>(t, lo,
+                                                          16 * t));
+        }));
+}
+
+ProtocolRegistry &
+ProtocolRegistry::global()
+{
+    static ProtocolRegistry reg;
+    return reg;
+}
+
+const ProtocolSpec &
+ProtocolRegistry::add(ProtocolSpec spec)
+{
+    RNUMA_ASSERT(spec.valid(), "protocol spec needs an id and a Rad "
+                 "factory");
+    RNUMA_ASSERT(spec.id == canonicalProtocolId(spec.id),
+                 "protocol id '", spec.id,
+                 "' is not canonical (lowercase, no enum-era "
+                 "spelling)");
+    if (find(spec.id)) {
+        RNUMA_FATAL("protocol '", spec.id,
+                    "' is already registered");
+    }
+    specs_.push_back(
+        std::make_unique<ProtocolSpec>(std::move(spec)));
+    return *specs_.back();
+}
+
+const ProtocolSpec *
+ProtocolRegistry::find(const std::string &name) const
+{
+    std::string id = canonicalProtocolId(name);
+    for (const auto &s : specs_) {
+        if (s->id == id || canonicalProtocolId(s->displayName) == id)
+            return s.get();
+    }
+    return nullptr;
+}
+
+const ProtocolSpec &
+ProtocolRegistry::at(const std::string &name) const
+{
+    const ProtocolSpec *s = find(name);
+    if (!s) {
+        RNUMA_FATAL("unknown protocol '", name,
+                    "' (see rnuma_sweep --list-protocols)");
+    }
+    return *s;
+}
+
+std::vector<const ProtocolSpec *>
+ProtocolRegistry::all() const
+{
+    std::vector<const ProtocolSpec *> out;
+    out.reserve(specs_.size());
+    for (const auto &s : specs_)
+        out.push_back(s.get());
+    return out;
+}
+
+std::size_t
+ProtocolRegistry::size() const
+{
+    return specs_.size();
+}
+
+const ProtocolSpec &
+protocolSpec(const std::string &name)
+{
+    return ProtocolRegistry::global().at(name);
+}
+
+const ProtocolSpec *
+findProtocolSpec(const std::string &name)
+{
+    return ProtocolRegistry::global().find(name);
+}
+
+const char *
+protocolId(Protocol proto)
+{
+    switch (proto) {
+      case Protocol::CCNuma: return "ccnuma";
+      case Protocol::SComa:  return "scoma";
+      case Protocol::RNuma:  return "rnuma";
+    }
+    RNUMA_PANIC("unknown protocol enum value");
+}
+
+const ProtocolSpec &
+builtinSpec(Protocol proto)
+{
+    return protocolSpec(protocolId(proto));
+}
+
+std::unique_ptr<Rad>
+makeRad(const ProtocolSpec &spec, const Params &params, NodeId node,
+        RadDeps deps)
+{
+    RNUMA_ASSERT(spec.valid(), "protocol spec '", spec.id,
+                 "' has no Rad factory");
+    return spec.makeRad(params, node, deps);
+}
+
+std::unique_ptr<Rad>
+makeRad(Protocol proto, const Params &params, NodeId node,
+        RadDeps deps)
+{
+    return builtinSpec(proto).makeRad(params, node, deps);
+}
+
+} // namespace rnuma

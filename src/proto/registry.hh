@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The protocol registry: string-keyed, composable system descriptions
+ * replacing the closed CCNuma/SComa/RNuma enum as the simulator's
+ * selection currency.
+ *
+ * The paper's central observation (Section 3, Figure 4) is that
+ * CC-NUMA, S-COMA, and R-NUMA differ only in their Remote Access
+ * Device, and that the *reactive* part of R-NUMA is a small per-page
+ * decision rule layered on a hybrid RAD. A ProtocolSpec captures
+ * exactly that factoring: a stable id (the JSON/compare currency), a
+ * display name, a Rad factory, and — for hybrid RADs — a
+ * RelocationPolicy factory. The three paper systems are the first
+ * three registrations; new hybrid designs (hysteresis, adaptive
+ * thresholds, anything else a RelocationPolicy can express) are
+ * one registration away and immediately sweepable by the driver and
+ * selectable from the rnuma_sweep CLI (--protocol, --list-protocols).
+ */
+
+#ifndef RNUMA_PROTO_REGISTRY_HH
+#define RNUMA_PROTO_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/relocation_policy.hh"
+#include "rad/rad.hh"
+
+namespace rnuma
+{
+
+/** Builds one node's RAD for a machine run. */
+using RadFactory = std::function<std::unique_ptr<Rad>(
+    const Params &, NodeId, RadDeps)>;
+
+/** Builds one node's relocation policy (hybrid RADs only). */
+using PolicyFactory =
+    std::function<std::unique_ptr<RelocationPolicy>(const Params &)>;
+
+/**
+ * One selectable system. Value-semantic: cells and machines copy the
+ * spec they run under, so ad-hoc variants (e.g. Figure 8's
+ * per-threshold cells) need not live in the global registry.
+ */
+struct ProtocolSpec
+{
+    /**
+     * Stable machine-readable id: the JSON artifact / compare-gate /
+     * CLI currency ("ccnuma", "rnuma-hysteresis", ...). Lowercase,
+     * no spaces.
+     */
+    std::string id;
+    /** Human-readable name for tables and logs ("CC-NUMA"). */
+    std::string displayName;
+    /** One-line description for --list-protocols. */
+    std::string description;
+    /** Required: builds the RAD. */
+    RadFactory makeRad;
+    /**
+     * Optional: the relocation policy a hybrid RAD runs. Exposed (and
+     * not just captured inside makeRad) so tooling can describe the
+     * policy and tests can instantiate it standalone.
+     */
+    PolicyFactory makePolicy;
+
+    bool valid() const { return !id.empty() && makeRad != nullptr; }
+};
+
+/**
+ * The process-wide name -> ProtocolSpec table. Lookup accepts the
+ * stable id, the display name, and enum-era spellings
+ * (case-insensitively), so pre-registry artifacts and call sites
+ * keep resolving. Specs have stable addresses for the registry's
+ * lifetime.
+ */
+class ProtocolRegistry
+{
+  public:
+    /** The global registry, with the built-ins pre-registered. */
+    static ProtocolRegistry &global();
+
+    /**
+     * Register a spec. Fatal on an invalid spec or a duplicate id.
+     * @return the registered (stably stored) spec.
+     */
+    const ProtocolSpec &add(ProtocolSpec spec);
+
+    /** Look up by id/display/enum-era name; nullptr when unknown. */
+    const ProtocolSpec *find(const std::string &name) const;
+
+    /** Look up; fatal (std::runtime_error under tests) when unknown. */
+    const ProtocolSpec &at(const std::string &name) const;
+
+    /** All specs, in registration order (built-ins first). */
+    std::vector<const ProtocolSpec *> all() const;
+
+    std::size_t size() const;
+
+  private:
+    ProtocolRegistry();
+
+    std::vector<std::unique_ptr<ProtocolSpec>> specs_;
+};
+
+/**
+ * Normalize a protocol label to its stable id: lowercases and maps
+ * the enum-era display names ("CC-NUMA" -> "ccnuma", "S-COMA" ->
+ * "scoma", "R-NUMA" -> "rnuma"). Unknown labels pass through
+ * lowercased — the shim the compare gate uses to diff v3 results
+ * against enum-era baselines.
+ */
+std::string canonicalProtocolId(const std::string &name);
+
+/** Shorthand for ProtocolRegistry::global().at(name). */
+const ProtocolSpec &protocolSpec(const std::string &name);
+
+/** Shorthand for ProtocolRegistry::global().find(name). */
+const ProtocolSpec *findProtocolSpec(const std::string &name);
+
+/** The registered spec of a legacy enum value. */
+const ProtocolSpec &builtinSpec(Protocol proto);
+
+/** Stable id of a legacy enum value ("ccnuma"/"scoma"/"rnuma"). */
+const char *protocolId(Protocol proto);
+
+/**
+ * Build an unregistered hybrid-RAD spec (block cache + page cache +
+ * @p policy): the one-liner for experimenting with a new relocation
+ * policy before promoting it to a registration.
+ */
+ProtocolSpec hybridSpec(std::string id, std::string displayName,
+                        std::string description,
+                        PolicyFactory policy);
+
+/**
+ * An unregistered R-NUMA variant pinning the static threshold to
+ * @p threshold regardless of Params::relocationThreshold. Figure 8's
+ * threshold sensitivity is a sweep over these specs.
+ */
+ProtocolSpec staticThresholdSpec(std::size_t threshold);
+
+} // namespace rnuma
+
+#endif // RNUMA_PROTO_REGISTRY_HH

@@ -130,7 +130,18 @@ class Rad
     }
 };
 
-/** Construct the RAD matching a protocol choice. */
+struct ProtocolSpec;
+
+/** Construct the RAD a protocol spec describes (spec.makeRad). */
+std::unique_ptr<Rad> makeRad(const ProtocolSpec &spec,
+                             const Params &params, NodeId node,
+                             RadDeps deps);
+
+/**
+ * Legacy-enum convenience: construct the RAD of one of the three
+ * paper systems by resolving the enum through the protocol registry
+ * (proto/registry.hh).
+ */
 std::unique_ptr<Rad> makeRad(Protocol proto, const Params &params,
                              NodeId node, RadDeps deps);
 

@@ -1,18 +1,19 @@
 #include "rad/rnuma_rad.hh"
 
-#include "common/logging.hh"
-#include "rad/ccnuma_rad.hh"
-#include "rad/scoma_rad.hh"
-
 namespace rnuma
 {
 
-RNumaRad::RNumaRad(const Params &params, NodeId node, RadDeps deps)
+RNumaRad::RNumaRad(const Params &params, NodeId node, RadDeps deps,
+                   std::unique_ptr<RelocationPolicy> policy)
     : Rad(params, node, deps),
       bc(params.rnumaBlockCacheSize, params, false),
       pc(params.pageCacheFrames(), params.blocksPerPage()),
-      counters(params.relocationThreshold)
+      policy_(std::move(policy))
 {
+    if (!policy_) {
+        policy_ = std::make_unique<StaticThresholdPolicy>(
+            params.relocationThreshold);
+    }
 }
 
 std::size_t
@@ -45,7 +46,7 @@ RNumaRad::relocate(Tick now, Addr page)
         std::size_t flushed = flushPage(t, victim);
         pc.erase(victim);
         d.pageTable.unmap(victim);
-        counters.reset(victim);
+        policy_->onEvicted(victim);
         d.stats.scomaReplacements++;
         t = d.vm.chargeAllocation(t, flushed);
     }
@@ -72,7 +73,7 @@ RNumaRad::relocate(Tick now, Addr page)
     }
     t = d.vm.chargeRelocation(t, moved);
     d.pageTable.set(page, PageMode::SComa);
-    counters.reset(page);
+    policy_->onRelocated(page);
     return t;
 }
 
@@ -121,11 +122,10 @@ RNumaRad::blockPath(Tick now, Addr addr, bool write)
 
     Tick done = d.bus.acquire(res.done) + p.busLatency;
 
-    // The reactive mechanism: count capacity/conflict refetches; at
-    // the threshold, the RAD interrupts and the OS relocates the page
-    // into the page cache (Figure 4b).
-    if (res.kind == MissKind::Refetch &&
-        counters.recordRefetch(page)) {
+    // The reactive mechanism: report capacity/conflict refetches to
+    // the relocation policy; when it fires, the RAD interrupts and
+    // the OS relocates the page into the page cache (Figure 4b).
+    if (res.kind == MissKind::Refetch && policy_->onRefetch(page)) {
         done = relocate(done, page);
     }
 
@@ -254,20 +254,6 @@ RNumaRad::hasWritePermission(Addr block) const
     Addr page = pageOf(block);
     return pc.contains(page) &&
         pc.tag(page, blockIndex(block)) == FineTag::ReadWrite;
-}
-
-std::unique_ptr<Rad>
-makeRad(Protocol proto, const Params &params, NodeId node, RadDeps deps)
-{
-    switch (proto) {
-      case Protocol::CCNuma:
-        return std::make_unique<CcNumaRad>(params, node, deps);
-      case Protocol::SComa:
-        return std::make_unique<SComaRad>(params, node, deps);
-      case Protocol::RNuma:
-        return std::make_unique<RNumaRad>(params, node, deps);
-    }
-    RNUMA_PANIC("unknown protocol");
 }
 
 } // namespace rnuma

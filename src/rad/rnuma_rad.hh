@@ -1,17 +1,22 @@
 /**
  * @file
- * The R-NUMA Remote Access Device (Section 3, Figure 4): the union of
- * the CC-NUMA and S-COMA RADs plus per-node, per-page reactive
- * refetch counters. Remote pages start CC-NUMA; when a page's refetch
- * count crosses the threshold, the RAD interrupts the OS, which
+ * The hybrid Remote Access Device (Section 3, Figure 4): the union
+ * of the CC-NUMA and S-COMA RADs, parameterized by a pluggable
+ * RelocationPolicy. Remote pages start CC-NUMA; when the policy
+ * fires on a page's refetch stream, the RAD interrupts the OS, which
  * relocates the page into the S-COMA page cache. Pages evicted from
- * the page cache revert to CC-NUMA on their next touch.
+ * the page cache revert to CC-NUMA on their next touch (the policy
+ * is told, so stateful policies can react). With the paper's
+ * StaticThresholdPolicy this is exactly R-NUMA; other policies give
+ * new hybrid systems on the same hardware.
  */
 
 #ifndef RNUMA_RAD_RNUMA_RAD_HH
 #define RNUMA_RAD_RNUMA_RAD_HH
 
-#include "core/reactive_policy.hh"
+#include <memory>
+
+#include "core/relocation_policy.hh"
 #include "rad/block_cache.hh"
 #include "rad/page_cache.hh"
 #include "rad/rad.hh"
@@ -19,11 +24,16 @@
 namespace rnuma
 {
 
-/** R-NUMA RAD: block cache + page cache + reactive counters. */
+/** Hybrid RAD: block cache + page cache + a relocation policy. */
 class RNumaRad : public Rad
 {
   public:
-    RNumaRad(const Params &params, NodeId node, RadDeps deps);
+    /**
+     * @param policy the relocation decision rule; null selects the
+     *        paper's StaticThresholdPolicy(params.relocationThreshold)
+     */
+    RNumaRad(const Params &params, NodeId node, RadDeps deps,
+             std::unique_ptr<RelocationPolicy> policy = nullptr);
 
     RadAccess access(Tick now, Addr addr, bool write,
                      bool upgrade) override;
@@ -35,12 +45,12 @@ class RNumaRad : public Rad
     /** Test introspection. */
     const BlockCache &blockCache() const { return bc; }
     const PageCache &pageCache() const { return pc; }
-    const ReactivePolicy &policy() const { return counters; }
+    const RelocationPolicy &policy() const { return *policy_; }
 
   private:
     BlockCache bc;
     PageCache pc;
-    ReactivePolicy counters;
+    std::unique_ptr<RelocationPolicy> policy_;
 
     /** CC-NUMA-mode path through the block cache. */
     RadAccess blockPath(Tick now, Addr addr, bool write);

@@ -49,7 +49,34 @@ HeapEventQueue::pop()
 // EventQueue (indexed calendar over a far-future heap)
 //--------------------------------------------------------------------------
 
-EventQueue::EventQueue() : near_(window) {}
+namespace
+{
+
+/** Round up to a power of two, with a floor of 64 (one bit word). */
+std::size_t
+roundWindow(std::size_t want)
+{
+    RNUMA_ASSERT(want > 0, "event calendar window must be nonzero");
+    // One bucket per tick: anything past a few million ticks of span
+    // is a misconfiguration (and doubling past the top power of two
+    // would wrap to zero and loop).
+    constexpr std::size_t maxWindow = std::size_t{1} << 30;
+    RNUMA_ASSERT(want <= maxWindow,
+                 "event calendar window ", want, " exceeds the ",
+                 maxWindow, "-tick ceiling");
+    std::size_t w = 64;
+    while (w < want)
+        w *= 2;
+    return w;
+}
+
+} // namespace
+
+EventQueue::EventQueue(std::size_t window)
+    : window_(roundWindow(window)), bitWords_(window_ / 64),
+      near_(window_), bits_(bitWords_, 0)
+{
+}
 
 void
 EventQueue::schedule(Tick when, std::uint32_t tag)
@@ -59,8 +86,8 @@ EventQueue::schedule(Tick when, std::uint32_t tag)
         // Only reachable through direct API use; the simulator never
         // schedules before the event it is processing.
         past_.push(e);
-    } else if (when - cursor_ < window) {
-        const std::size_t idx = when & (window - 1);
+    } else if (when - cursor_ < window_) {
+        const std::size_t idx = when & (window_ - 1);
         Bucket &b = near_[idx];
         if (b.empty())
             bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
@@ -79,16 +106,16 @@ EventQueue::schedule(Tick when, std::uint32_t tag)
 std::size_t
 EventQueue::nextBucket() const
 {
-    const std::size_t start = cursor_ & (window - 1);
+    const std::size_t start = cursor_ & (window_ - 1);
     const std::size_t w0 = start >> 6;
     const std::uint64_t high = bits_[w0] & (~0ULL << (start & 63));
     if (high)
         return (w0 << 6) + ctz64(high);
     // Wrap: the remaining candidates are offsets past `start` in
     // later words, or before it (near the window's far edge) back in
-    // w0's low bits, which the i == bitWords pass picks up.
-    for (std::size_t i = 1; i <= bitWords; ++i) {
-        const std::size_t w = (w0 + i) & (bitWords - 1);
+    // w0's low bits, which the i == bitWords_ pass picks up.
+    for (std::size_t i = 1; i <= bitWords_; ++i) {
+        const std::size_t w = (w0 + i) & (bitWords_ - 1);
         if (bits_[w])
             return (w << 6) + ctz64(bits_[w]);
     }
@@ -120,7 +147,7 @@ EventQueue::pop()
         const Event *n = nearFront();
         if (n && (far_.empty() || eventBefore(*n, far_.top()))) {
             e = *n;
-            const std::size_t idx = e.when & (window - 1);
+            const std::size_t idx = e.when & (window_ - 1);
             Bucket &b = near_[idx];
             b.head++;
             if (b.empty()) {

@@ -104,7 +104,23 @@ class HeapEventQueue
 class EventQueue
 {
   public:
-    EventQueue();
+    /**
+     * @param window calendar span in ticks (one bucket per tick),
+     *        rounded up to a power of two, minimum 64. The default
+     *        covers the simulator's common event deltas — think
+     *        times, bus and remote-fetch latencies, barrier releases
+     *        are all well under 1024 cycles — while the rare
+     *        multi-thousand-cycle page operations overflow into the
+     *        heap. Kept small on purpose: the bucket array is the
+     *        hot working set, and 1024 buckets stay cache-resident
+     *        where a wider calendar thrashes. Size it up for
+     *        workloads with systematically longer deltas (e.g.
+     *        slower networks).
+     */
+    explicit EventQueue(std::size_t window = 1024);
+
+    /** Calendar span actually in use (post-rounding). */
+    std::size_t windowSize() const { return window_; }
 
     /** Schedule @p tag to run at @p when. */
     void schedule(Tick when, std::uint32_t tag);
@@ -125,18 +141,6 @@ class EventQueue
     std::size_t pending() const { return size_; }
 
   private:
-    /**
-     * Calendar span in ticks (one bucket per tick). Sized to cover
-     * the simulator's common event deltas — think times, bus and
-     * remote-fetch latencies, barrier releases are all well under
-     * 1024 cycles — while the rare multi-thousand-cycle page
-     * operations overflow into the heap. Kept small on purpose: the
-     * bucket array is the hot working set, and 1024 buckets stay
-     * cache-resident where a wider calendar thrashes.
-     */
-    static constexpr std::size_t window = 1024;
-    static constexpr std::size_t bitWords = window / 64;
-
     /** A FIFO of same-tick events, drained from head. */
     struct Bucket
     {
@@ -167,8 +171,10 @@ class EventQueue
     /** Earliest calendar event, or nullptr when the calendar is empty. */
     const Event *nearFront() const;
 
-    std::vector<Bucket> near_;          ///< window one-tick buckets
-    std::uint64_t bits_[bitWords] = {}; ///< non-empty-bucket index
+    std::size_t window_;   ///< calendar span (power of two, >= 64)
+    std::size_t bitWords_; ///< window_ / 64
+    std::vector<Bucket> near_;        ///< window_ one-tick buckets
+    std::vector<std::uint64_t> bits_; ///< non-empty-bucket index
     /**
      * Memo of the earliest non-empty bucket (noHint = recompute).
      * peekTime/pop pairs and runs of same-tick ties then skip the

@@ -5,12 +5,15 @@
 namespace rnuma
 {
 
-Machine::Machine(const Params &params, Protocol protocol, Workload &wl_)
-    : p(params), protoKind(protocol), wl(wl_),
+Machine::Machine(const Params &params, const ProtocolSpec &spec,
+                 Workload &wl_)
+    : p(params), protocolId_(spec.id), wl(wl_),
       cpuMap{params.cpusPerNode},
       net_(params.numNodes, params.netLatency, params.niOccupancy)
 {
     p.validate();
+    RNUMA_ASSERT(spec.valid(), "protocol spec '", spec.id,
+                 "' has no Rad factory");
     RNUMA_ASSERT(wl.numCpus() == p.numCpus(),
                  "workload has ", wl.numCpus(), " cpus, machine has ",
                  p.numCpus());
@@ -28,12 +31,18 @@ Machine::Machine(const Params &params, Protocol protocol, Workload &wl_)
 
     nodes_.reserve(p.numNodes);
     for (NodeId n = 0; n < p.numNodes; ++n) {
-        nodes_.push_back(std::make_unique<Node>(p, n, protoKind,
+        nodes_.push_back(std::make_unique<Node>(p, n, spec,
                                                 *mems_[n], *proto_,
                                                 stats_));
     }
 
     cpus_.resize(p.numCpus());
+}
+
+Machine::Machine(const Params &params, Protocol protocol,
+                 Workload &wl_)
+    : Machine(params, builtinSpec(protocol), wl_)
+{
 }
 
 bool

@@ -18,6 +18,7 @@
 #include "net/network.hh"
 #include "os/first_touch.hh"
 #include "proto/protocol.hh"
+#include "proto/registry.hh"
 #include "sim/cpu.hh"
 #include "sim/event_queue.hh"
 #include "sim/node.hh"
@@ -31,9 +32,14 @@ class Machine : public CoherenceSink
 {
   public:
     /**
-     * Build a machine. The workload must provide exactly
-     * params.numCpus() streams.
+     * Build a machine running the system @p spec describes. The
+     * workload must provide exactly params.numCpus() streams. The
+     * spec's factories run here; the spec itself is not retained.
      */
+    Machine(const Params &params, const ProtocolSpec &spec,
+            Workload &wl);
+
+    /** Legacy-enum convenience: one of the three paper systems. */
     Machine(const Params &params, Protocol protocol, Workload &wl);
 
     /** Execute the workload to completion; returns the statistics. */
@@ -46,6 +52,8 @@ class Machine : public CoherenceSink
     //--- Introspection ------------------------------------------------------
     Node &node(NodeId n) { return *nodes_[n]; }
     GlobalProtocol &protocol() { return *proto_; }
+    /** Registry id of the system this machine runs ("ccnuma", ...). */
+    const std::string &protocolId() const { return protocolId_; }
     Network &network() { return net_; }
     FirstTouchPlacement &placement() { return place_; }
     const RunStats &stats() const { return stats_; }
@@ -53,7 +61,7 @@ class Machine : public CoherenceSink
 
   private:
     Params p;
-    Protocol protoKind;
+    std::string protocolId_;
     Workload &wl;
     CpuMap cpuMap;
     RunStats stats_;

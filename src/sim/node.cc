@@ -5,7 +5,7 @@
 namespace rnuma
 {
 
-Node::Node(const Params &params, NodeId id, Protocol protocol,
+Node::Node(const Params &params, NodeId id, const ProtocolSpec &spec,
            Memory &memory, GlobalProtocol &proto_, RunStats &stats_)
     : p(params), id_(id), proto(proto_), stats(stats_), mem(memory),
       bus_(params.busOccupancy), pageTable_(),
@@ -14,7 +14,7 @@ Node::Node(const Params &params, NodeId id, Protocol protocol,
     l1s.reserve(p.cpusPerNode);
     for (std::size_t i = 0; i < p.cpusPerNode; ++i)
         l1s.emplace_back(p.l1Size, p.blockSize, p.l1Assoc);
-    rad_ = makeRad(protocol, p, id,
+    rad_ = makeRad(spec, p, id,
                    RadDeps{proto, stats, bus_, mem, vm_, pageTable_,
                            *this});
 }

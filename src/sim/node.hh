@@ -23,6 +23,7 @@
 #include "os/page_table.hh"
 #include "os/vm.hh"
 #include "proto/protocol.hh"
+#include "proto/registry.hh"
 #include "rad/rad.hh"
 
 namespace rnuma
@@ -35,13 +36,14 @@ class Node : public L1Snooper
     /**
      * @param params   system parameters
      * @param id       this node's id
-     * @param protocol which RAD to build
+     * @param spec     which system to build (its RAD factory runs in
+     *                 this constructor; the spec is not retained)
      * @param memory   this node's DRAM (owned by the Machine so the
      *                 GlobalProtocol can also reach it)
      * @param proto    the machine-wide protocol engine
      * @param stats    the run's statistics sink
      */
-    Node(const Params &params, NodeId id, Protocol protocol,
+    Node(const Params &params, NodeId id, const ProtocolSpec &spec,
          Memory &memory, GlobalProtocol &proto, RunStats &stats);
 
     /**

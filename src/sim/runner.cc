@@ -10,11 +10,25 @@ namespace rnuma
 {
 
 RunStats
-runProtocol(const Params &params, Protocol protocol, Workload &wl)
+runProtocol(const Params &params, const ProtocolSpec &spec,
+            Workload &wl)
 {
     wl.reset();
-    Machine m(params, protocol, wl);
+    Machine m(params, spec, wl);
     return m.run();
+}
+
+RunStats
+runProtocol(const Params &params, const std::string &name,
+            Workload &wl)
+{
+    return runProtocol(params, protocolSpec(name), wl);
+}
+
+RunStats
+runProtocol(const Params &params, Protocol protocol, Workload &wl)
+{
+    return runProtocol(params, builtinSpec(protocol), wl);
 }
 
 RunStats

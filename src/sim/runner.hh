@@ -13,12 +13,21 @@
 
 #include "common/params.hh"
 #include "common/stats.hh"
+#include "proto/registry.hh"
 #include "workload/workload.hh"
 
 namespace rnuma
 {
 
-/** Run one protocol over a workload (resets the workload first). */
+/** Run one system over a workload (resets the workload first). */
+RunStats runProtocol(const Params &params, const ProtocolSpec &spec,
+                     Workload &wl);
+
+/** Run a registered protocol by name (fatal when unknown). */
+RunStats runProtocol(const Params &params, const std::string &name,
+                     Workload &wl);
+
+/** Legacy-enum convenience: one of the three paper systems. */
 RunStats runProtocol(const Params &params, Protocol protocol,
                      Workload &wl);
 

@@ -41,9 +41,9 @@ smallSweep()
     Params p = test::smallParams();
     for (const char *app : {"moldyn", "radix", "em3d"}) {
         s.addBaseline(app, p, testScale);
-        s.addApp(app, "ccnuma", p, Protocol::CCNuma, testScale);
-        s.addApp(app, "scoma", p, Protocol::SComa, testScale);
-        s.addApp(app, "rnuma", p, Protocol::RNuma, testScale);
+        s.addApp(app, "ccnuma", p, "ccnuma", testScale);
+        s.addApp(app, "scoma", p, "scoma", testScale);
+        s.addApp(app, "rnuma", p, "rnuma", testScale);
     }
     return s;
 }
@@ -67,11 +67,11 @@ TEST(SweepDecl, RejectsDuplicateCellAndMissingFactory)
 {
     Sweep s("dup", "", "");
     Params p = test::smallParams();
-    s.addApp("moldyn", "ccnuma", p, Protocol::CCNuma, testScale);
+    s.addApp("moldyn", "ccnuma", p, "ccnuma", testScale);
     EXPECT_THROW(
-        s.addApp("moldyn", "ccnuma", p, Protocol::SComa, testScale),
+        s.addApp("moldyn", "ccnuma", p, "scoma", testScale),
         std::runtime_error);
-    EXPECT_THROW(s.add({"x", "y", Protocol::CCNuma, p, nullptr, ""}),
+    EXPECT_THROW(s.add({"x", "y", protocolSpec("ccnuma"), p, nullptr, ""}),
                  std::logic_error);
 }
 
@@ -88,9 +88,9 @@ TEST(SweepRunnerTest, UnknownAppFailsTheSweepOnAnyJobCount)
 {
     Sweep s("bad", "", "");
     Params p = test::smallParams();
-    s.addApp("no-such-app", "ccnuma", p, Protocol::CCNuma,
+    s.addApp("no-such-app", "ccnuma", p, "ccnuma",
              testScale);
-    s.addApp("moldyn", "ccnuma", p, Protocol::CCNuma, testScale);
+    s.addApp("moldyn", "ccnuma", p, "ccnuma", testScale);
     // Serially the registry's fatal surfaces directly; in parallel
     // the pool catches it and rethrows after draining.
     EXPECT_THROW(SweepRunner(1).run(s), std::runtime_error);
@@ -150,7 +150,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v2");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v3");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -219,8 +219,8 @@ TEST(WorkloadCache, UnkeyedCellsBypassTheCache)
     Sweep s("unkeyed", "", "");
     Params p = test::smallParams();
     WorkloadFactory make = appFactory("moldyn", p, testScale);
-    s.add({"moldyn", "a", Protocol::CCNuma, p, make, ""});
-    s.add({"moldyn", "b", Protocol::SComa, p, make, ""});
+    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make, ""});
+    s.add({"moldyn", "b", protocolSpec("scoma"), p, make, ""});
     SweepResult r = SweepRunner(1).run(s);
     EXPECT_EQ(r.workloadsGenerated, 0u);
     EXPECT_EQ(r.workloadCacheHits, 0u);
@@ -269,8 +269,8 @@ TEST(WorkloadCache, NonSnapshottableKeyedFactoryWastesNoGeneration)
             OpaqueWorkload>(makeApp("moldyn", p, testScale)));
     };
     Sweep s("opaque", "", "");
-    s.add({"moldyn", "a", Protocol::CCNuma, p, make, "opaque-key"});
-    s.add({"moldyn", "b", Protocol::SComa, p, make, "opaque-key"});
+    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make, "opaque-key"});
+    s.add({"moldyn", "b", protocolSpec("scoma"), p, make, "opaque-key"});
     SweepResult r = SweepRunner(1).run(s);
     EXPECT_EQ(r.workloadsGenerated, 0u);
     EXPECT_EQ(r.workloadCacheHits, 0u);
@@ -279,7 +279,7 @@ TEST(WorkloadCache, NonSnapshottableKeyedFactoryWastesNoGeneration)
     EXPECT_EQ(*calls, 2);
     // And the streams are identical to the snapshotted path.
     Sweep keyed("keyed", "", "");
-    keyed.addApp("moldyn", "a", p, Protocol::CCNuma, testScale);
+    keyed.addApp("moldyn", "a", p, "ccnuma", testScale);
     SweepResult kr = SweepRunner(1).run(keyed);
     EXPECT_EQ(kr.at("moldyn", "a").stats,
               r.at("moldyn", "a").stats);
@@ -300,6 +300,38 @@ TEST(WorkloadCache, KeyDistinguishesGeneratorInputs)
               workloadCacheKey("fmm", p, 0.1, 2));
     EXPECT_NE(workloadCacheKey("fmm", p, 0.1, 1),
               workloadCacheKey("lu", p, 0.1, 1));
+}
+
+TEST(WorkloadCache, ProcessScopeCacheSharesAcrossRuns)
+{
+    // Two sweeps keyed on the same workloads, one shared cache: the
+    // second run generates nothing, serves everything as hits, and
+    // its per-cell stats stay bit-identical to an uncached run.
+    Sweep s = smallSweep();
+    driver::WorkloadCache shared;
+    SweepRunner runner(2);
+    runner.shareCache(&shared);
+
+    SweepResult first = runner.run(s);
+    EXPECT_EQ(first.workloadsGenerated, 3u);
+    EXPECT_EQ(first.workloadCacheHits, 9u);
+    EXPECT_EQ(shared.snapshots(), 3u);
+    EXPECT_EQ(shared.generated(), 3u);
+    EXPECT_EQ(shared.hits(), 9u);
+
+    SweepResult second = runner.run(s);
+    EXPECT_EQ(second.workloadsGenerated, 0u);
+    EXPECT_EQ(second.workloadCacheHits, 12u);
+    EXPECT_EQ(shared.generated(), 3u);
+    EXPECT_EQ(shared.hits(), 21u);
+
+    SweepResult isolated =
+        SweepRunner(1).cacheWorkloads(false).run(s);
+    ASSERT_EQ(second.cells.size(), isolated.cells.size());
+    for (std::size_t i = 0; i < second.cells.size(); ++i) {
+        EXPECT_EQ(second.cells[i].stats, isolated.cells[i].stats)
+            << second.cells[i].app << "/" << second.cells[i].config;
+    }
 }
 
 namespace
@@ -414,7 +446,7 @@ TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
     std::ostringstream os;
     JsonSink().write(os, {run});
     ResultDoc loaded = loadResults(os.str());
-    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v2");
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v3");
     ResultDoc direct = resultsOf({run});
     ASSERT_EQ(loaded.figures.size(), 1u);
     ASSERT_EQ(loaded.figures[0].cells.size(),
@@ -455,6 +487,39 @@ TEST(CompareGate, AcceptsV1BaselinesWithoutEvents)
     cur.figures[0].cells[0].ticks = 43;
     std::ostringstream os2;
     EXPECT_EQ(compareResults(base, cur, CompareOptions{}, os2), 1u);
+}
+
+TEST(CompareGate, ProtocolShimAcceptsEnumEraBaselines)
+{
+    // A v2 baseline carries enum-era display names; after the load
+    // shim they canonicalize to registry ids, and an id change
+    // against a pre-v3 baseline is a note, never a violation.
+    const char *v2 =
+        "{\"schema\": \"rnuma-sweep-results/v2\", \"figures\": ["
+        "{\"name\": \"small\", \"scale\": 0.05, \"jobs\": 1,"
+        " \"wall_ms\": 10.0, \"status\": 0, \"cells\": ["
+        "{\"app\": \"moldyn\", \"config\": \"t16\","
+        " \"protocol\": \"R-NUMA\", \"wall_ms\": 1.0,"
+        " \"stats\": {\"ticks\": 42}}]}]}";
+    ResultDoc base = loadResults(v2);
+    EXPECT_EQ(base.version(), 2);
+    EXPECT_EQ(base.figures[0].cells[0].protocol, "rnuma");
+
+    ResultDoc cur = base;
+    cur.schema = "rnuma-sweep-results/v3";
+    cur.figures[0].cells[0].protocol = "rnuma-t16";
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{-1}, os), 0u);
+    EXPECT_NE(os.str().find("label shim only"), std::string::npos);
+
+    // Both v3: a protocol change is genuine drift.
+    ResultDoc base3 = base;
+    base3.schema = "rnuma-sweep-results/v3";
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(base3, cur, CompareOptions{-1}, os2),
+              1u);
+    EXPECT_NE(os2.str().find("protocol changed"),
+              std::string::npos);
 }
 
 TEST(CompareGate, RejectsForeignJson)
@@ -507,10 +572,10 @@ TEST(JsonParser, HandlesEscapesAndNumbers)
               "\"a\\\"b\\\\c\\n\\t\"");
 }
 
-TEST(FigureRegistry, HasAllTenFiguresWithUniqueNames)
+TEST(FigureRegistry, HasAllElevenFiguresWithUniqueNames)
 {
     const auto &specs = figureSpecs();
-    EXPECT_EQ(specs.size(), 10u);
+    EXPECT_EQ(specs.size(), 11u);
     for (const FigureSpec &a : specs) {
         std::size_t count = 0;
         for (const FigureSpec &b : specs)
@@ -526,23 +591,58 @@ TEST(FigureRegistry, SweepsBuildLazilyWithExpectedShapes)
 {
     // Building a sweep generates no workloads, so even full-figure
     // sweeps are cheap to enumerate here.
-    EXPECT_EQ(findFigure("fig6")->build(testScale).size(), 40u);
-    EXPECT_EQ(findFigure("fig7")->build(testScale).size(), 60u);
-    EXPECT_EQ(findFigure("fig8")->build(testScale).size(), 40u);
-    EXPECT_EQ(findFigure("fig9")->build(testScale).size(), 50u);
-    EXPECT_EQ(findFigure("fig5")->build(testScale).size(), 10u);
-    EXPECT_EQ(findFigure("table4")->build(testScale).size(), 30u);
-    EXPECT_EQ(findFigure("table2")->build(testScale).size(), 0u);
-    EXPECT_EQ(findFigure("eq3")->build(testScale).size(), 4u);
-    EXPECT_EQ(findFigure("ablation")->build(testScale).size(), 30u);
-    EXPECT_EQ(findFigure("micro")->build(testScale).size(), 16u);
+    EXPECT_EQ(findFigure("fig6")->build({testScale}).size(), 40u);
+    EXPECT_EQ(findFigure("fig7")->build({testScale}).size(), 60u);
+    EXPECT_EQ(findFigure("fig8")->build({testScale}).size(), 40u);
+    EXPECT_EQ(findFigure("fig9")->build({testScale}).size(), 50u);
+    EXPECT_EQ(findFigure("fig5")->build({testScale}).size(), 10u);
+    EXPECT_EQ(findFigure("table4")->build({testScale}).size(), 30u);
+    EXPECT_EQ(findFigure("table2")->build({testScale}).size(), 0u);
+    EXPECT_EQ(findFigure("eq3")->build({testScale}).size(), 4u);
+    EXPECT_EQ(findFigure("ablation")->build({testScale}).size(), 30u);
+    EXPECT_EQ(findFigure("micro")->build({testScale}).size(), 16u);
+    // policies: one baseline + one cell per registered protocol.
+    EXPECT_EQ(findFigure("policies")->build({testScale}).size(),
+              1u + ProtocolRegistry::global().size());
+}
+
+TEST(FigureRegistry, PoliciesFigureHonorsProtocolSelection)
+{
+    FigureOptions opt;
+    opt.scale = testScale;
+    opt.protocols = {"rnuma", "rnuma-adaptive"};
+    Sweep s = findFigure("policies")->build(opt);
+    ASSERT_EQ(s.size(), 3u); // baseline + 2 selected
+    EXPECT_EQ(s.cells()[1].proto.id, "rnuma");
+    EXPECT_EQ(s.cells()[2].proto.id, "rnuma-adaptive");
+
+    // Repeated and alias spellings dedupe to one cell per protocol
+    // instead of tripping the duplicate-cell check.
+    opt.protocols = {"rnuma", "R-NUMA", "rnuma"};
+    Sweep dedup = findFigure("policies")->build(opt);
+    ASSERT_EQ(dedup.size(), 2u); // baseline + rnuma once
+    EXPECT_EQ(dedup.cells()[1].proto.id, "rnuma");
+}
+
+TEST(FigureRegistry, Fig8IsAPolicySweepOverStaticThresholds)
+{
+    // The threshold axis lives in the protocol spec, not in Params:
+    // every fig8 cell runs the base machine configuration.
+    Sweep s = findFigure("fig8")->build({testScale});
+    Params base = Params::base();
+    for (const Cell &c : s.cells()) {
+        EXPECT_EQ(c.params.relocationThreshold,
+                  base.relocationThreshold);
+        EXPECT_EQ(c.proto.id, "rnuma-" + c.config);
+        ASSERT_TRUE(c.proto.makePolicy != nullptr);
+    }
 }
 
 TEST(FigureRegistry, Table2RendersAndPasses)
 {
     const FigureSpec *spec = findFigure("table2");
     ASSERT_NE(spec, nullptr);
-    FigureRun run = runFigure(*spec, 1.0, 2, /*verify=*/true);
+    FigureRun run = runFigure(*spec, {1.0}, 2, /*verify=*/true);
     std::ostringstream os;
     EXPECT_EQ(renderFigure(*spec, run, os), 0);
     EXPECT_NE(os.str().find("PASS"), std::string::npos);
@@ -552,7 +652,7 @@ TEST(FigureRegistry, MicroFigureRunsVerifiedAndRenders)
 {
     const FigureSpec *spec = findFigure("micro");
     ASSERT_NE(spec, nullptr);
-    FigureRun run = runFigure(*spec, 0.02, 4, /*verify=*/true);
+    FigureRun run = runFigure(*spec, {0.02}, 4, /*verify=*/true);
     EXPECT_EQ(run.result.cells.size(), 16u);
     std::ostringstream os;
     EXPECT_EQ(renderFigure(*spec, run, os), 0);

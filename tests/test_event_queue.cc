@@ -181,6 +181,77 @@ TEST(EventQueueParity, RandomizedStreamsMatchTheHeapReference)
     EXPECT_EQ(cal.processed(), heap.processed());
 }
 
+TEST(EventQueue, WindowRoundsUpToAPowerOfTwo)
+{
+    EXPECT_EQ(EventQueue().windowSize(), 1024u);
+    EXPECT_EQ(EventQueue(1024).windowSize(), 1024u);
+    EXPECT_EQ(EventQueue(100).windowSize(), 128u);
+    EXPECT_EQ(EventQueue(1).windowSize(), 64u);   // floor: one word
+    EXPECT_EQ(EventQueue(65).windowSize(), 128u);
+    EXPECT_EQ(EventQueue(4096).windowSize(), 4096u);
+    EXPECT_THROW(EventQueue(0), std::logic_error);
+    // Absurd spans are a config error, not an overflowing loop.
+    EXPECT_THROW(EventQueue(~std::size_t{0}), std::logic_error);
+}
+
+TEST(EventQueueParity, NonDefaultWindowsMatchTheHeapReference)
+{
+    // The same randomized simulator-shaped stream as above, but with
+    // calendars small enough that fill/fetch deltas overflow into
+    // the far heap constantly (64) and wide enough that page ops fit
+    // the calendar (16384): the (when, seq) contract must hold at
+    // any window size.
+    for (std::size_t window : {64u, 256u, 16384u}) {
+        Rng rng(0xeeff02 + window);
+        EventQueue cal(window);
+        HeapEventQueue heap;
+        Tick now = 0;
+        std::size_t pendingCount = 0;
+        for (int step = 0; step < 8000; ++step) {
+            bool doSchedule =
+                pendingCount == 0 || rng.chance(0.55);
+            if (doSchedule) {
+                Tick delta;
+                std::uint64_t shape = rng.below(100);
+                if (shape < 70)
+                    delta = rng.below(16);
+                else if (shape < 90)
+                    delta = 60 + rng.below(400);
+                else if (shape < 97)
+                    delta = 3000 + rng.below(9000);
+                else
+                    delta = 0;
+                std::uint32_t tag =
+                    static_cast<std::uint32_t>(rng.below(32));
+                cal.schedule(now + delta, tag);
+                heap.schedule(now + delta, tag);
+                pendingCount++;
+            } else {
+                ASSERT_EQ(cal.peekTime(), heap.peekTime())
+                    << "window " << window << " step " << step;
+                Event a = cal.pop();
+                Event b = heap.pop();
+                ASSERT_EQ(a.when, b.when)
+                    << "window " << window << " step " << step;
+                ASSERT_EQ(a.seq, b.seq)
+                    << "window " << window << " step " << step;
+                ASSERT_EQ(a.tag, b.tag)
+                    << "window " << window << " step " << step;
+                now = a.when;
+                pendingCount--;
+            }
+        }
+        while (!cal.empty()) {
+            Event a = cal.pop();
+            Event b = heap.pop();
+            ASSERT_EQ(a.when, b.when) << "window " << window;
+            ASSERT_EQ(a.seq, b.seq) << "window " << window;
+            ASSERT_EQ(a.tag, b.tag) << "window " << window;
+        }
+        EXPECT_TRUE(heap.empty()) << "window " << window;
+    }
+}
+
 TEST(EventQueueParity, MassTiesPreserveInsertionOrder)
 {
     // Many events on few distinct ticks: the FIFO-per-bucket path.

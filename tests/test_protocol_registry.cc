@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the protocol registry (proto/registry.hh): name -> spec
+ * -> Rad round-trips through a real Machine, lookup normalization
+ * (ids, display names, enum-era labels), the unknown-name error
+ * path, bit-identity of the registry path against the legacy enum
+ * path, Figure 8's staticThresholdSpec variants against the
+ * pre-registry "params hack" equivalent, and end-to-end runs of the
+ * new policy protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "proto/registry.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+#include "workload/micro.hh"
+
+#include "test_util.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+/** A reuse-heavy pattern on the tiny machine: more remote pages
+ *  than page-cache frames, so relocations and evictions happen. */
+std::unique_ptr<VectorWorkload>
+reuseWorkload(const Params &p)
+{
+    return makeHotRemoteReuse(p, 12, 6);
+}
+
+} // namespace
+
+TEST(ProtocolRegistry, HasTheBuiltinsInOrder)
+{
+    auto all = ProtocolRegistry::global().all();
+    ASSERT_GE(all.size(), 5u);
+    EXPECT_EQ(all[0]->id, "ccnuma");
+    EXPECT_EQ(all[1]->id, "scoma");
+    EXPECT_EQ(all[2]->id, "rnuma");
+    EXPECT_EQ(all[3]->id, "rnuma-hysteresis");
+    EXPECT_EQ(all[4]->id, "rnuma-adaptive");
+    for (const ProtocolSpec *s : all) {
+        EXPECT_TRUE(s->valid()) << s->id;
+        EXPECT_FALSE(s->displayName.empty()) << s->id;
+        EXPECT_FALSE(s->description.empty()) << s->id;
+    }
+}
+
+TEST(ProtocolRegistry, LookupNormalizesNames)
+{
+    const ProtocolSpec &cc = protocolSpec("ccnuma");
+    EXPECT_EQ(findProtocolSpec("CCNUMA"), &cc);
+    EXPECT_EQ(findProtocolSpec("CC-NUMA"), &cc); // enum-era label
+    EXPECT_EQ(findProtocolSpec("cc-numa"), &cc);
+    EXPECT_EQ(findProtocolSpec("R-NUMA"), &protocolSpec("rnuma"));
+    EXPECT_EQ(findProtocolSpec("S-COMA"), &protocolSpec("scoma"));
+    EXPECT_EQ(canonicalProtocolId("R-NUMA"), "rnuma");
+    EXPECT_EQ(canonicalProtocolId("rnuma-t16"), "rnuma-t16");
+}
+
+TEST(ProtocolRegistry, UnknownNameIsAnError)
+{
+    EXPECT_EQ(findProtocolSpec("no-such-protocol"), nullptr);
+    EXPECT_THROW(protocolSpec("no-such-protocol"),
+                 std::runtime_error);
+}
+
+TEST(ProtocolRegistry, RejectsInvalidAndDuplicateSpecs)
+{
+    ProtocolSpec empty;
+    EXPECT_THROW(ProtocolRegistry::global().add(std::move(empty)),
+                 std::logic_error);
+    // Duplicate id: fatal.
+    ProtocolSpec dup = protocolSpec("ccnuma");
+    EXPECT_THROW(ProtocolRegistry::global().add(std::move(dup)),
+                 std::runtime_error);
+}
+
+TEST(ProtocolRegistry, EnumResolvesToTheSameSpecs)
+{
+    EXPECT_EQ(&builtinSpec(Protocol::CCNuma),
+              &protocolSpec("ccnuma"));
+    EXPECT_EQ(&builtinSpec(Protocol::SComa), &protocolSpec("scoma"));
+    EXPECT_EQ(&builtinSpec(Protocol::RNuma), &protocolSpec("rnuma"));
+    EXPECT_STREQ(protocolId(Protocol::RNuma), "rnuma");
+}
+
+TEST(ProtocolRegistry, NameToSpecToRadRoundTrip)
+{
+    // Running a machine by registry name is bit-identical to the
+    // legacy enum path for each paper system.
+    Params p = test::smallParams();
+    const struct
+    {
+        const char *name;
+        Protocol proto;
+    } systems[] = {
+        {"ccnuma", Protocol::CCNuma},
+        {"scoma", Protocol::SComa},
+        {"rnuma", Protocol::RNuma},
+    };
+    for (const auto &sys : systems) {
+        auto wl_a = reuseWorkload(p);
+        auto wl_b = reuseWorkload(p);
+        RunStats by_name = runProtocol(p, std::string(sys.name),
+                                       *wl_a);
+        RunStats by_enum = runProtocol(p, sys.proto, *wl_b);
+        EXPECT_EQ(by_name, by_enum) << sys.name;
+        EXPECT_GT(by_name.refs, 0u);
+    }
+}
+
+TEST(ProtocolRegistry, MachineReportsItsProtocolId)
+{
+    Params p = test::smallParams();
+    auto wl = reuseWorkload(p);
+    Machine m(p, protocolSpec("rnuma-adaptive"), *wl);
+    EXPECT_EQ(m.protocolId(), "rnuma-adaptive");
+}
+
+TEST(ProtocolRegistry, StaticThresholdSpecMatchesTheParamsHack)
+{
+    // Figure 8's policy sweep replaced mutating
+    // Params::relocationThreshold. Both roads must lead to the same
+    // simulated machine, tick for tick.
+    Params base = test::smallParams();
+    for (std::size_t T : {2u, 4u, 8u}) {
+        Params hacked = base;
+        hacked.relocationThreshold = T;
+        auto wl_a = reuseWorkload(base);
+        auto wl_b = reuseWorkload(base);
+        RunStats via_spec =
+            runProtocol(base, staticThresholdSpec(T), *wl_a);
+        RunStats via_params =
+            runProtocol(hacked, Protocol::RNuma, *wl_b);
+        EXPECT_EQ(via_spec, via_params) << "T=" << T;
+    }
+}
+
+TEST(ProtocolRegistry, NewPoliciesRunEndToEndAndDeterministically)
+{
+    Params p = test::smallParams();
+    for (const char *name : {"rnuma-hysteresis", "rnuma-adaptive"}) {
+        auto wl_a = reuseWorkload(p);
+        auto wl_b = reuseWorkload(p);
+        RunStats a = runProtocol(p, std::string(name), *wl_a);
+        RunStats b = runProtocol(p, std::string(name), *wl_b);
+        EXPECT_EQ(a, b) << name;
+        EXPECT_GT(a.refs, 0u) << name;
+        EXPECT_GT(a.relocations, 0u) << name;
+    }
+}
+
+TEST(ProtocolRegistry, HysteresisRelocatesNoMoreThanStatic)
+{
+    // On an eviction-heavy reuse pattern (12 remote pages, 4
+    // page-cache frames) pages relocate, fall out, and re-qualify;
+    // hysteresis raises the re-entry bar, so it can only relocate
+    // less often than the static rule.
+    Params p = test::smallParams();
+    auto wl_s = reuseWorkload(p);
+    auto wl_h = reuseWorkload(p);
+    RunStats stat = runProtocol(p, std::string("rnuma"), *wl_s);
+    RunStats hyst =
+        runProtocol(p, std::string("rnuma-hysteresis"), *wl_h);
+    EXPECT_GT(stat.relocations, 0u);
+    EXPECT_LE(hyst.relocations, stat.relocations);
+    EXPECT_EQ(stat.refs, hyst.refs); // same workload either way
+}
+
+TEST(ProtocolRegistry, HybridSpecComposesCustomPolicies)
+{
+    // The extension point a downstream protocol author uses: an
+    // unregistered spec with a custom policy wiring, runnable
+    // directly.
+    ProtocolSpec custom = hybridSpec(
+        "rnuma-eager", "R-NUMA(eager)", "relocates on first refetch",
+        [](const Params &) {
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<StaticThresholdPolicy>(1));
+        });
+    Params p = test::smallParams();
+    auto wl_eager = reuseWorkload(p);
+    auto wl_base = reuseWorkload(p);
+    RunStats eager = runProtocol(p, custom, *wl_eager);
+    RunStats base = runProtocol(p, std::string("rnuma"), *wl_base);
+    // Threshold 1 relocates at the very first refetch, so it can
+    // never relocate less than the threshold-4 rule here.
+    EXPECT_GE(eager.relocations, base.relocations);
+    EXPECT_GT(eager.relocations, 0u);
+}
+
+} // namespace rnuma

@@ -7,11 +7,16 @@
  *
  * Usage: rnuma_sweep [options] <figure>... | all
  *   --list               print the known figure names and exit
+ *   --list-protocols     print the protocol registry (id, name,
+ *                        policy, description) and exit
+ *   --protocol NAME      (repeatable) select registered protocols
+ *                        for protocol-parametric figures (the
+ *                        "policies" sweep); other figures ignore it
  *   --scale S            workload scale (default: RNUMA_BENCH_SCALE
  *                        or 1)
  *   --jobs N             worker threads; 0 = hardware concurrency
  *                        (default 1)
- *   --json-out FILE      write results as rnuma-sweep-results/v2 JSON
+ *   --json-out FILE      write results as rnuma-sweep-results/v3 JSON
  *   --csv-out FILE       write results as flat CSV
  *   --verify             re-run each sweep serially and assert
  *                        bit-identical RunStats
@@ -25,6 +30,11 @@
  *   --current FILE       with --compare and no figures: diff FILE
  *                        against the baseline instead of running
  *   --quiet              suppress the per-figure human tables
+ *
+ * Workloads are cached process-wide: figures sharing a generator
+ * key (fig5/fig6/table4's base-machine apps) generate once per
+ * invocation, and the aggregate hit/miss count is reported in the
+ * closing summary line.
  */
 
 #include <cstdlib>
@@ -39,6 +49,7 @@
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/result_sink.hh"
+#include "proto/registry.hh"
 
 namespace
 {
@@ -51,11 +62,15 @@ usage(std::ostream &os, int status)
 {
     os << "usage: rnuma_sweep [options] <figure>... | all\n"
           "  --list               list figure names\n"
+          "  --list-protocols     list the protocol registry\n"
+          "  --protocol NAME      (repeatable) select protocols for "
+          "protocol-parametric\n"
+          "                       figures (see 'policies')\n"
           "  --scale S            workload scale (default: "
           "RNUMA_BENCH_SCALE or 1)\n"
           "  --jobs N             worker threads (0 = hardware "
           "concurrency; default 1)\n"
-          "  --json-out FILE      write rnuma-sweep-results/v2 JSON\n"
+          "  --json-out FILE      write rnuma-sweep-results/v3 JSON\n"
           "  --csv-out FILE       write flat CSV\n"
           "  --verify             assert serial/parallel RunStats "
           "are bit-identical\n"
@@ -76,6 +91,23 @@ listFigures(std::ostream &os)
 {
     for (const FigureSpec &s : figureSpecs())
         os << s.name << "\t" << s.title << "\n";
+}
+
+void
+listProtocols(std::ostream &os)
+{
+    Params p = Params::base();
+    Table t({"id", "name", "relocation policy", "description"});
+    for (const ProtocolSpec *s : ProtocolRegistry::global().all()) {
+        t.addRow({s->id, s->displayName,
+                  s->makePolicy ? s->makePolicy(p)->describe()
+                                : "-",
+                  s->description});
+    }
+    t.print(os);
+    os << "\n(policies are shown for the paper's base Params; "
+          "select with --protocol,\nrun them via the 'policies' "
+          "figure)\n";
 }
 
 /** Serialize, then re-parse as a malformed-output guard. */
@@ -130,6 +162,7 @@ main(int argc, char **argv)
 {
     double scale = envScale();
     std::size_t jobs = 1;
+    std::vector<std::string> protocols;
     std::string json_out;
     std::string csv_out;
     std::string compare_path;
@@ -154,7 +187,17 @@ main(int argc, char **argv)
             return usage(std::cout, 0);
         else if (arg == "--list")
             return (listFigures(std::cout), 0);
-        else if (arg == "--scale") {
+        else if (arg == "--list-protocols")
+            return (listProtocols(std::cout), 0);
+        else if (arg == "--protocol") {
+            std::string name = next();
+            if (!findProtocolSpec(name)) {
+                std::cerr << "rnuma_sweep: unknown protocol '"
+                          << name << "' (see --list-protocols)\n";
+                return 2;
+            }
+            protocols.push_back(name);
+        } else if (arg == "--scale") {
             const char *val = next();
             char *end = nullptr;
             scale = std::strtod(val, &end);
@@ -233,11 +276,18 @@ main(int argc, char **argv)
     }
 
     int status = 0;
+    FigureOptions opt;
+    opt.scale = scale;
+    opt.protocols = protocols;
+    // One process-scope snapshot store for the whole invocation, so
+    // figures sharing a workload key generate it exactly once.
+    WorkloadCache process_cache;
     std::vector<FigureRun> runs;
     runs.reserve(specs.size());
     for (const FigureSpec *spec : specs) {
         FigureRun run =
-            runFigure(*spec, scale, jobs, verify, cache_workloads);
+            runFigure(*spec, opt, jobs, verify, cache_workloads,
+                      cache_workloads ? &process_cache : nullptr);
         std::ostringstream table;
         int rc = renderFigure(*spec, run, table);
         if (!quiet) {
@@ -259,6 +309,15 @@ main(int argc, char **argv)
         if (rc > status)
             status = rc;
         runs.push_back(std::move(run));
+    }
+
+    if (!runs.empty() && cache_workloads) {
+        std::cout << "workload cache: "
+                  << process_cache.generated()
+                  << " workloads generated, "
+                  << process_cache.hits()
+                  << " cells served from cache across "
+                  << runs.size() << " figure(s)\n";
     }
 
     if (!json_out.empty() && !emitJson(json_out, runs))
