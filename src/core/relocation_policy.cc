@@ -190,15 +190,31 @@ void
 AdaptiveThresholdPolicy::onRelocated(Addr page)
 {
     counts.erase(page);
-    std::size_t t = thresholdOf(page) / 2;
+    std::size_t entry = thresholdOf(page);
+    std::size_t t = entry / 2;
     perPageT[page] = t < minT ? minT : t;
+    entryT[page] = entry;
 }
 
 void
 AdaptiveThresholdPolicy::onEvicted(Addr page)
 {
     counts.erase(page);
-    std::size_t t = thresholdOf(page) * 2;
+    // An eviction that undoes a relocation is one ping-pong round
+    // trip: escalate from the page's pre-relocation threshold, so
+    // churn costs T, 2T, 4T, ... instead of washing out against the
+    // relocation's halve — doubling the current (halved) value
+    // would re-enter at exactly the static threshold forever.
+    // Free-standing evictions (no relocation recorded) double the
+    // current value.
+    auto it = entryT.find(page);
+    std::size_t t;
+    if (it != entryT.end()) {
+        t = it->second * 2;
+        entryT.erase(it);
+    } else {
+        t = thresholdOf(page) * 2;
+    }
     perPageT[page] = t > maxT ? maxT : t;
 }
 
@@ -207,6 +223,7 @@ AdaptiveThresholdPolicy::reset(Addr page)
 {
     counts.erase(page);
     perPageT.erase(page);
+    entryT.erase(page);
 }
 
 std::uint64_t

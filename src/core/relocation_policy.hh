@@ -23,8 +23,8 @@
  * the pre-registry counter semantics), HysteresisPolicy (reverted
  * pages need a higher count to relocate again, suppressing
  * ping-pong), AdaptiveThresholdPolicy (per-page T halves on
- * demonstrated reuse and doubles on eviction, approximating the
- * Eq 3 optimum online).
+ * relocation and escalates on relocate/evict ping-pong,
+ * approximating the Eq 3 optimum online).
  */
 
 #ifndef RNUMA_CORE_RELOCATION_POLICY_HH
@@ -139,15 +139,28 @@ class HysteresisPolicy : public RelocationPolicy
 };
 
 /**
- * Per-page dynamic threshold approximating the Eq 3 optimum online.
- * Every page starts at the configured initial T. A relocation that
- * proves out (the page earned its way into the page cache) halves
- * the page's T — demonstrated reuse pages re-relocate sooner after a
- * future eviction, approaching the analytic optimum T* where the
- * relocation cost amortizes fastest. An eviction doubles the page's
- * T — a relocation that did not stick raises the bar, bounding the
- * worst-case adversary loss (Section 3.2). T is clamped to
- * [minThreshold, maxThreshold].
+ * Per-page dynamic threshold: exponential back-off on relocation
+ * churn. Every page starts at the configured initial T. An eviction
+ * that undoes a relocation — the ping-pong round trip the Section
+ * 3.2 adversary forces — escalates the page's re-entry bar from its
+ * *pre-relocation* threshold: T, 2T, 4T, ..., clamped to
+ * [minThreshold, maxThreshold]. A free-standing eviction (no
+ * recorded relocation) doubles the current value; a relocation
+ * halves it (floor-clamped), the bar in force while the page is
+ * resident.
+ *
+ * The escalation is the load-bearing half: in a real machine a
+ * page's relocations and evictions strictly alternate, so a rule
+ * whose eviction merely doubled back what the relocation halved
+ * (the original formulation) re-entered at exactly the static
+ * threshold forever — "adaptive" was bit-identical to the static
+ * rule on every workload with an even T. Note the halved
+ * threshold is only consulted between relocation and eviction
+ * (refetches fire for non-resident pages only), so in-machine the
+ * policy is monotone back-off per page: it bounds the adversary's
+ * churn but does not yet reward relocations that paid off — that
+ * would need page-cache-hit feedback the RelocationPolicy
+ * interface does not carry (see ROADMAP).
  */
 class AdaptiveThresholdPolicy : public RelocationPolicy
 {
@@ -173,6 +186,15 @@ class AdaptiveThresholdPolicy : public RelocationPolicy
     std::size_t maxT;
     std::unordered_map<Addr, std::uint64_t> counts;
     std::unordered_map<Addr, std::size_t> perPageT;
+    /**
+     * Per page, the threshold in force when it last relocated (the
+     * value the eviction escalates from); erased once consumed, so
+     * only resident relocated pages carry an entry. Storing the
+     * actual pre-relocation value (not a flag) keeps the 2x
+     * escalation exact even when the relocation halve was clamped
+     * at minThreshold.
+     */
+    std::unordered_map<Addr, std::size_t> entryT;
 };
 
 } // namespace rnuma

@@ -1,5 +1,6 @@
 #include "driver/compare.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -90,6 +91,17 @@ loadResults(const std::string &json_text)
         f.jobs = static_cast<std::size_t>(
             numberOr(jf.get("jobs"), 1));
         f.wallMs = numberOr(jf.get("wall_ms"), 0);
+        // v4 carries the distinct protocol ids per figure; older
+        // documents reconstruct the list from their cells below, so
+        // the field is populated for any baseline age.
+        const JsonValue *protos = jf.get("protocols");
+        if (protos && protos->isArray()) {
+            for (const JsonValue &jp : protos->array) {
+                if (jp.kind == JsonValue::Kind::String)
+                    f.protocols.push_back(
+                        canonicalProtocolId(jp.str));
+            }
+        }
         const JsonValue *cells = jf.get("cells");
         if (cells && cells->isArray()) {
             for (const JsonValue &jc : cells->array) {
@@ -97,8 +109,8 @@ loadResults(const std::string &json_text)
                 c.app = stringOr(jc.get("app"), "?");
                 c.config = stringOr(jc.get("config"), "?");
                 // Enum-era labels ("CC-NUMA") canonicalize to the
-                // stable registry ids ("ccnuma") on load, so v1/v2
-                // baselines diff cleanly against v3 results.
+                // stable registry ids ("ccnuma") on load, so v1-v3
+                // baselines diff cleanly against v4 results.
                 std::string proto =
                     stringOr(jc.get("protocol"), "");
                 if (!proto.empty())
@@ -118,6 +130,16 @@ loadResults(const std::string &json_text)
                 f.cells.push_back(std::move(c));
             }
         }
+        if (f.protocols.empty()) {
+            for (const ResultCell &c : f.cells) {
+                if (c.protocol.empty())
+                    continue;
+                if (std::find(f.protocols.begin(),
+                              f.protocols.end(),
+                              c.protocol) == f.protocols.end())
+                    f.protocols.push_back(c.protocol);
+            }
+        }
         out.figures.push_back(std::move(f));
     }
     return out;
@@ -127,13 +149,14 @@ ResultDoc
 resultsOf(const std::vector<FigureRun> &runs)
 {
     ResultDoc out;
-    out.schema = "rnuma-sweep-results/v3";
+    out.schema = "rnuma-sweep-results/v4";
     for (const FigureRun &run : runs) {
         ResultFigure f;
         f.name = run.name;
         f.scale = run.scale;
         f.jobs = run.jobs;
         f.wallMs = run.wallMs;
+        f.protocols = protocolsOf(run.result);
         for (const CellResult &c : run.result.cells) {
             ResultCell rc;
             rc.app = c.app;

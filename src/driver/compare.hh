@@ -48,6 +48,13 @@ struct ResultFigure
     double scale = 1.0;
     std::size_t jobs = 1;
     double wallMs = 0;
+    /**
+     * The v4 per-figure "protocols" array (distinct canonical spec
+     * ids, first-appearance order); reconstructed from the cells for
+     * pre-v4 documents, so consumers can rely on it regardless of
+     * the baseline's age.
+     */
+    std::vector<std::string> protocols;
     std::vector<ResultCell> cells;
 
     const ResultCell *find(const std::string &app,
@@ -68,7 +75,7 @@ struct ResultDoc
 
 /**
  * Extract the comparable slice from a parsed rnuma-sweep-results
- * document (v1, v2, or v3). Throws std::runtime_error on documents
+ * document (v1 through v4). Throws std::runtime_error on documents
  * that are not sweep results at all.
  */
 ResultDoc loadResults(const std::string &json_text);

@@ -11,6 +11,7 @@
 #include "net/network.hh"
 #include "proto/protocol.hh"
 #include "proto/registry.hh"
+#include "sim/runner.hh"
 #include "workload/micro.hh"
 #include "workload/registry.hh"
 #include "workload/synthetic.hh"
@@ -21,11 +22,16 @@ namespace rnuma::driver
 namespace
 {
 
+/**
+ * Normalized time; NaN (rendered "nan", serialized null) when the
+ * baseline simulated zero ticks — a degenerate one-reference
+ * workload at a tiny scale is a flagged cell, not a panic. One
+ * rule, shared with the comparison harness.
+ */
 double
 norm(Tick x, Tick base)
 {
-    RNUMA_ASSERT(base > 0, "normalization baseline is zero");
-    return static_cast<double>(x) / static_cast<double>(base);
+    return normalizedTime(x, base);
 }
 
 /** Normalized execution time of (app, config) vs (app, "baseline"). */
@@ -637,11 +643,16 @@ renderMicro(const FigureRun &run, std::ostream &os)
 //--------------------------------------------------------------------------
 // Policies: the registry-driven relocation-policy sweep (not a paper
 // figure). Every selected protocol — by default every registered one
-// — runs the canonical reuse microworkload, the pattern the
-// relocation decision exists for, normalized to the infinite
-// baseline. This is the harness that makes a new ProtocolSpec
-// registration measurable with zero further wiring, and the CLI's
-// --protocol flag narrows the selection by name.
+// — runs two microworkloads: the canonical in-cache reuse pattern
+// (the pattern the relocation decision exists for) and an
+// eviction-heavy pattern whose reuse set exceeds the page-cache
+// frame budget, so relocated pages keep falling out and
+// re-qualifying — the regime where the policies actually separate
+// (at small scales the caches absorb hot-reuse and every policy
+// ties). Both normalize to the infinite baseline. This is the
+// harness that makes a new ProtocolSpec registration measurable
+// with zero further wiring, and the CLI's --protocol flag narrows
+// the selection by name.
 //--------------------------------------------------------------------------
 
 Sweep
@@ -650,15 +661,31 @@ buildPolicies(const FigureOptions &opt)
     Sweep s("policies");
     Params p = Params::base();
     double scale = opt.scale;
-    WorkloadFactory make = [p, scale] {
-        return std::unique_ptr<Workload>(
-            makeHotRemoteReuse(p, scaled(120, scale, 2), 8));
+    struct Pattern
+    {
+        const char *name;
+        WorkloadFactory make;
     };
-    std::string key = workloadCacheKey("hot-reuse", p, scale);
-    Params inf = p;
-    inf.infiniteBlockCache = true;
-    s.add({"hot-reuse", "baseline", protocolSpec("ccnuma"), inf,
-           make, key});
+    // The eviction cell derives its page count from the frame
+    // budget, not from the scale alone: the reuse set must overflow
+    // the page cache at every scale (the small-scale tie was
+    // exactly this cell degenerating into in-cache reuse).
+    std::size_t frames = p.pageCacheFrames();
+    const Pattern patterns[] = {
+        {"hot-reuse", [p, scale] {
+             return std::unique_ptr<Workload>(makeHotRemoteReuse(
+                 p, scaled(120, scale, 2), 8));
+         }},
+        // The overshoot and sweep floors are where the policies
+        // separate strictly at CI scale (0.1): fewer ping-pong
+        // pages or rounds and the escalating/hysteresis re-entry
+        // bars never get exercised past their first doubling.
+        {"evict-storm", [p, scale, frames] {
+             return std::unique_ptr<Workload>(makeEvictionStorm(
+                 p, frames + scaled(80, scale, 40),
+                 scaled(16, scale, 8)));
+         }},
+    };
     std::vector<std::string> names = opt.protocols;
     if (names.empty()) {
         for (const ProtocolSpec *spec :
@@ -675,16 +702,23 @@ buildPolicies(const FigureOptions &opt)
         if (std::find(ids.begin(), ids.end(), id) == ids.end())
             ids.push_back(id);
     }
-    for (const std::string &id : ids)
-        s.add({"hot-reuse", id, protocolSpec(id), p, make, key});
+    Params inf = p;
+    inf.infiniteBlockCache = true;
+    for (const Pattern &pat : patterns) {
+        std::string key = workloadCacheKey(pat.name, p, scale);
+        s.add({pat.name, "baseline", protocolSpec("ccnuma"), inf,
+               pat.make, key});
+        for (const std::string &id : ids)
+            s.add({pat.name, id, protocolSpec(id), p, pat.make, key});
+    }
     return s;
 }
 
 int
 renderPolicies(const FigureRun &run, std::ostream &os)
 {
-    Table t({"protocol", "policy", "normalized time", "relocations",
-             "page-cache hits", "refetches"});
+    Table t({"pattern", "protocol", "policy", "normalized time",
+             "relocations", "page-cache hits", "refetches"});
     Params p = Params::base();
     for (const CellResult &c : run.result.cells) {
         if (c.config == "baseline")
@@ -692,7 +726,8 @@ renderPolicies(const FigureRun &run, std::ostream &os)
         const ProtocolSpec *spec = findProtocolSpec(c.protocol);
         std::string policy = spec && spec->makePolicy
             ? spec->makePolicy(p)->describe() : "-";
-        t.addRow({c.protocolName.empty() ? c.protocol
+        t.addRow({c.app,
+                  c.protocolName.empty() ? c.protocol
                                          : c.protocolName,
                   policy,
                   Table::num(normTo(run.result, c.app, c.config)),
@@ -701,12 +736,16 @@ renderPolicies(const FigureRun &run, std::ostream &os)
                   std::to_string(c.stats.refetches)});
     }
     t.print(os);
-    os << "\nreading the result: the hybrid systems relocate the "
-          "reuse set into the\npage cache and converge near the "
-          "baseline; CC-NUMA keeps refetching\nthrough the tiny "
-          "block cache; S-COMA is already all page cache. Register\n"
-          "a new ProtocolSpec (docs/PROTOCOLS.md) and it appears "
-          "here by name.\n";
+    os << "\nreading the result: on hot-reuse the hybrid systems "
+          "relocate the reuse set\ninto the page cache and converge "
+          "near the baseline; CC-NUMA keeps\nrefetching through the "
+          "tiny block cache; S-COMA is already all page\ncache. On "
+          "evict-storm the reuse set overflows the page cache, so "
+          "the\nstatic rule ping-pongs relocations, hysteresis "
+          "suppresses re-entry, and\nthe adaptive rule lands in "
+          "between — the relocation counts separate\nstrictly. "
+          "Register a new ProtocolSpec (docs/PROTOCOLS.md) and it "
+          "appears\nhere by name.\n";
     return 0;
 }
 

@@ -1,5 +1,7 @@
 #include "driver/result_sink.hh"
 
+#include <algorithm>
+
 #include "common/table.hh"
 #include "driver/json.hh"
 
@@ -16,8 +18,11 @@ namespace
 // ("CC-NUMA") to the registry's stable spec id ("ccnuma",
 // "rnuma-t16", ...) and adds "protocol_name" with the display name;
 // the gate canonicalizes enum-era labels when reading older
-// baselines.
-constexpr const char *schemaName = "rnuma-sweep-results/v3";
+// baselines. v4 adds the per-figure "protocols" array: the distinct
+// spec ids the figure's cells ran, in first-appearance order — the
+// field CI validates to prove a registered protocol actually
+// reached the figure pipeline.
+constexpr const char *schemaName = "rnuma-sweep-results/v4";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -26,6 +31,18 @@ remotePages(const RunStats &s)
 }
 
 } // namespace
+
+std::vector<std::string>
+protocolsOf(const SweepResult &result)
+{
+    std::vector<std::string> ids;
+    for (const CellResult &c : result.cells) {
+        if (std::find(ids.begin(), ids.end(), c.protocol) ==
+            ids.end())
+            ids.push_back(c.protocol);
+    }
+    return ids;
+}
 
 const std::vector<StatField> &
 statFields()
@@ -111,6 +128,11 @@ JsonSink::write(std::ostream &os,
         w.key("workload_cache_hits");
         w.value(static_cast<std::uint64_t>(
             run.result.workloadCacheHits));
+        w.key("protocols");
+        w.beginArray();
+        for (const std::string &id : protocolsOf(run.result))
+            w.value(id);
+        w.endArray();
         w.key("cells");
         w.beginArray();
         for (const CellResult &c : run.result.cells) {

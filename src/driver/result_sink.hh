@@ -3,11 +3,13 @@
  * Machine- and human-readable emitters for executed sweeps. A
  * FigureRun pairs a figure's identity with its SweepResult; the
  * sinks serialize lists of them. The JSON schema
- * ("rnuma-sweep-results/v2", documented in docs/PERFORMANCE.md) is
+ * ("rnuma-sweep-results/v4", documented in docs/PERFORMANCE.md) is
  * the stable artifact format the CI figure pipeline and the
  * perf-baseline gate consume, so changes to it must bump the schema
  * string (v2 added per-cell event counts/throughput and the
- * workload-cache counters; the gate still reads v1 baselines).
+ * workload-cache counters, v3 the stable protocol ids, v4 the
+ * per-figure "protocols" array; the gate still reads v1-v3
+ * baselines).
  */
 
 #ifndef RNUMA_DRIVER_RESULT_SINK_HH
@@ -43,6 +45,12 @@ struct StatField
 };
 const std::vector<StatField> &statFields();
 
+/**
+ * The distinct protocol ids a sweep's cells ran, in first-appearance
+ * order — the figure-level "protocols" array of the v4 schema.
+ */
+std::vector<std::string> protocolsOf(const SweepResult &result);
+
 /** Abstract emitter over a batch of executed figures. */
 class ResultSink
 {
@@ -52,7 +60,7 @@ class ResultSink
                        const std::vector<FigureRun> &runs) const = 0;
 };
 
-/** The "rnuma-sweep-results/v2" JSON document. */
+/** The "rnuma-sweep-results/v4" JSON document. */
 class JsonSink : public ResultSink
 {
   public:

@@ -1,8 +1,11 @@
 #include "proto/registry.hh"
 
 #include <cctype>
+#include <cmath>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "core/analytic_model.hh"
 #include "rad/ccnuma_rad.hh"
 #include "rad/rnuma_rad.hh"
 #include "rad/scoma_rad.hh"
@@ -108,13 +111,32 @@ ProtocolRegistry::ProtocolRegistry()
     add(hybridSpec(
         "rnuma-adaptive", "R-NUMA(adapt)",
         "hybrid RAD; per-page threshold halves on relocation and "
-        "doubles on eviction, tracking the Eq 3 optimum",
+        "escalates 2x per relocate/evict ping-pong, tracking the "
+        "Eq 3 optimum",
         [](const Params &p) {
             std::size_t t = p.relocationThreshold;
             std::size_t lo = t / 16 < 1 ? 1 : t / 16;
             return std::unique_ptr<RelocationPolicy>(
                 std::make_unique<AdaptiveThresholdPolicy>(t, lo,
                                                           16 * t));
+        }));
+
+    add(hybridSpec(
+        "rnuma-model", "R-NUMA(model)",
+        "hybrid RAD; static threshold seeded from the Section 3.2 "
+        "cost model's optimum T* = C_alloc / C_refetch",
+        [](const Params &p) {
+            // Eq 3's T* assumes the half-occupied page move the
+            // eq3 figure also evaluates (Table 1's C_allocate at
+            // blocksPerPage()/2 valid blocks).
+            AnalyticModel model(ModelParams::fromSystem(
+                p, p.blocksPerPage() / 2));
+            auto t = static_cast<std::size_t>(
+                std::llround(model.optimalThreshold()));
+            if (t < 1)
+                t = 1;
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<StaticThresholdPolicy>(t));
         }));
 }
 
@@ -134,7 +156,8 @@ ProtocolRegistry::add(ProtocolSpec spec)
                  "protocol id '", spec.id,
                  "' is not canonical (lowercase, no enum-era "
                  "spelling)");
-    if (find(spec.id)) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (findLocked(spec.id)) {
         RNUMA_FATAL("protocol '", spec.id,
                     "' is already registered");
     }
@@ -144,7 +167,7 @@ ProtocolRegistry::add(ProtocolSpec spec)
 }
 
 const ProtocolSpec *
-ProtocolRegistry::find(const std::string &name) const
+ProtocolRegistry::findLocked(const std::string &name) const
 {
     std::string id = canonicalProtocolId(name);
     for (const auto &s : specs_) {
@@ -152,6 +175,13 @@ ProtocolRegistry::find(const std::string &name) const
             return s.get();
     }
     return nullptr;
+}
+
+const ProtocolSpec *
+ProtocolRegistry::find(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return findLocked(name);
 }
 
 const ProtocolSpec &
@@ -168,6 +198,7 @@ ProtocolRegistry::at(const std::string &name) const
 std::vector<const ProtocolSpec *>
 ProtocolRegistry::all() const
 {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     std::vector<const ProtocolSpec *> out;
     out.reserve(specs_.size());
     for (const auto &s : specs_)
@@ -178,6 +209,7 @@ ProtocolRegistry::all() const
 std::size_t
 ProtocolRegistry::size() const
 {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return specs_.size();
 }
 

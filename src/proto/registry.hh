@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,12 @@ struct ProtocolSpec
  * (case-insensitively), so pre-registry artifacts and call sites
  * keep resolving. Specs have stable addresses for the registry's
  * lifetime.
+ *
+ * Thread-safe: registration takes an exclusive lock and lookups a
+ * shared one, so sweep workers may register and resolve specs
+ * concurrently (previously the table was unguarded and only safe
+ * for static init + main-thread use). Returned spec pointers stay
+ * valid forever — specs are never removed or moved.
  */
 class ProtocolRegistry
 {
@@ -101,6 +108,11 @@ class ProtocolRegistry
   private:
     ProtocolRegistry();
 
+    /** find() without taking the lock (callers hold it). */
+    const ProtocolSpec *findLocked(const std::string &name) const;
+
+    /** Guards specs_: exclusive for add, shared for lookups. */
+    mutable std::shared_mutex mutex_;
     std::vector<std::unique_ptr<ProtocolSpec>> specs_;
 };
 

@@ -72,6 +72,37 @@ makeHotRemoteReuse(const Params &p, std::size_t remote_pages,
 }
 
 std::unique_ptr<VectorWorkload>
+makeEvictionStorm(const Params &p, std::size_t remote_pages,
+                  std::size_t sweeps)
+{
+    RNUMA_ASSERT(p.numNodes >= 2, "needs at least two nodes");
+    RNUMA_ASSERT(remote_pages > p.pageCacheFrames(),
+                 "eviction storm needs more pages (", remote_pages,
+                 ") than page-cache frames (", p.pageCacheFrames(),
+                 "); use makeHotRemoteReuse for in-cache reuse");
+    StreamBuilder b("eviction-storm", p, 0x66);
+    Addr data = b.allocPages(remote_pages);
+    CpuId owner = firstCpuOf(p, 1);
+    CpuId reader = firstCpuOf(p, 0);
+    b.touchRange(owner, data, remote_pages * p.pageSize);
+    b.barrier(); // placement completes before the parallel phase
+    // The same sequential sweep as hot reuse, but over a reuse set
+    // wider than the page cache: every page accumulates a full
+    // page's worth of block refetches per sweep (the working set
+    // also exceeds every block cache), relocates, and is then
+    // evicted again when the pages beyond the frame budget arrive.
+    for (std::size_t s = 0; s < sweeps; ++s) {
+        for (std::size_t pg = 0; pg < remote_pages; ++pg) {
+            for (std::size_t blk = 0; blk < p.blocksPerPage(); ++blk) {
+                b.read(reader,
+                       data + pg * p.pageSize + blk * p.blockSize);
+            }
+        }
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
 makeProducerConsumer(const Params &p, std::size_t pages,
                      std::size_t rounds)
 {

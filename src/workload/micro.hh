@@ -35,6 +35,21 @@ makeHotRemoteReuse(const Params &p, std::size_t remote_pages,
                    std::size_t sweeps);
 
 /**
+ * Eviction-heavy reuse: like makeHotRemoteReuse, but the reader's
+ * reuse set (@p remote_pages) is meant to exceed the page-cache
+ * frame budget (Params::pageCacheFrames()). Relocated pages then
+ * keep falling out of the page cache and re-qualifying, so the
+ * relocate/evict ping-pong the hysteresis and adaptive policies
+ * exist to manage actually happens — at small scales the single
+ * hot-reuse pattern fits the caches and every policy ties.
+ * Asserts remote_pages > frames so a misconfigured cell fails
+ * loudly instead of silently degenerating back into hot reuse.
+ */
+std::unique_ptr<VectorWorkload>
+makeEvictionStorm(const Params &p, std::size_t remote_pages,
+                  std::size_t sweeps);
+
+/**
  * Producer/consumer: node 0 writes a buffer, barrier, node 1 reads
  * it, barrier, repeat. Pure coherence misses — the canonical
  * "communication page" pattern where CC-NUMA wins and S-COMA pays

@@ -150,7 +150,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v3");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v4");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -159,6 +159,17 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     const JsonValue &fig = figures->array[0];
     EXPECT_EQ(fig.get("name")->str, "small");
+
+    // The v4 per-figure protocols array: distinct ids in
+    // first-appearance order.
+    const JsonValue *protos = fig.get("protocols");
+    ASSERT_NE(protos, nullptr);
+    ASSERT_TRUE(protos->isArray());
+    ASSERT_EQ(protos->array.size(), 3u);
+    EXPECT_EQ(protos->array[0].str, "ccnuma");
+    EXPECT_EQ(protos->array[1].str, "scoma");
+    EXPECT_EQ(protos->array[2].str, "rnuma");
+
     const JsonValue *cells = fig.get("cells");
     ASSERT_NE(cells, nullptr);
     ASSERT_EQ(cells->array.size(), run.result.cells.size());
@@ -446,8 +457,12 @@ TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
     std::ostringstream os;
     JsonSink().write(os, {run});
     ResultDoc loaded = loadResults(os.str());
-    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v3");
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v4");
     ResultDoc direct = resultsOf({run});
+    EXPECT_EQ(loaded.figures[0].protocols,
+              direct.figures[0].protocols);
+    EXPECT_EQ(loaded.figures[0].protocols,
+              protocolsOf(run.result));
     ASSERT_EQ(loaded.figures.size(), 1u);
     ASSERT_EQ(loaded.figures[0].cells.size(),
               direct.figures[0].cells.size());
@@ -520,6 +535,33 @@ TEST(CompareGate, ProtocolShimAcceptsEnumEraBaselines)
               1u);
     EXPECT_NE(os2.str().find("protocol changed"),
               std::string::npos);
+}
+
+TEST(CompareGate, ReconstructsProtocolsForPreV4Baselines)
+{
+    // A v3 document has no per-figure protocols array; the loader
+    // rebuilds it from the cells (canonicalized, first-appearance
+    // order) so v4-era consumers work against old baselines, and a
+    // v3 baseline still diffs cleanly against v4 results.
+    const char *v3 =
+        "{\"schema\": \"rnuma-sweep-results/v3\", \"figures\": ["
+        "{\"name\": \"small\", \"scale\": 0.05, \"jobs\": 1,"
+        " \"wall_ms\": 10.0, \"status\": 0, \"cells\": ["
+        "{\"app\": \"a\", \"config\": \"baseline\","
+        " \"protocol\": \"ccnuma\", \"stats\": {\"ticks\": 7}},"
+        "{\"app\": \"a\", \"config\": \"rnuma\","
+        " \"protocol\": \"R-NUMA\", \"stats\": {\"ticks\": 9}},"
+        "{\"app\": \"b\", \"config\": \"rnuma\","
+        " \"protocol\": \"rnuma\", \"stats\": {\"ticks\": 5}}]}]}";
+    ResultDoc base = loadResults(v3);
+    ASSERT_EQ(base.figures.size(), 1u);
+    std::vector<std::string> expected{"ccnuma", "rnuma"};
+    EXPECT_EQ(base.figures[0].protocols, expected);
+
+    ResultDoc cur = base;
+    cur.schema = "rnuma-sweep-results/v4";
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{-1}, os), 0u);
 }
 
 TEST(CompareGate, RejectsForeignJson)
@@ -601,9 +643,10 @@ TEST(FigureRegistry, SweepsBuildLazilyWithExpectedShapes)
     EXPECT_EQ(findFigure("eq3")->build({testScale}).size(), 4u);
     EXPECT_EQ(findFigure("ablation")->build({testScale}).size(), 30u);
     EXPECT_EQ(findFigure("micro")->build({testScale}).size(), 16u);
-    // policies: one baseline + one cell per registered protocol.
+    // policies: two patterns x (one baseline + one cell per
+    // registered protocol).
     EXPECT_EQ(findFigure("policies")->build({testScale}).size(),
-              1u + ProtocolRegistry::global().size());
+              2u * (1u + ProtocolRegistry::global().size()));
 }
 
 TEST(FigureRegistry, PoliciesFigureHonorsProtocolSelection)
@@ -612,16 +655,58 @@ TEST(FigureRegistry, PoliciesFigureHonorsProtocolSelection)
     opt.scale = testScale;
     opt.protocols = {"rnuma", "rnuma-adaptive"};
     Sweep s = findFigure("policies")->build(opt);
-    ASSERT_EQ(s.size(), 3u); // baseline + 2 selected
+    // Two patterns x (baseline + 2 selected).
+    ASSERT_EQ(s.size(), 6u);
+    EXPECT_EQ(s.cells()[0].app, "hot-reuse");
     EXPECT_EQ(s.cells()[1].proto.id, "rnuma");
     EXPECT_EQ(s.cells()[2].proto.id, "rnuma-adaptive");
+    EXPECT_EQ(s.cells()[3].app, "evict-storm");
+    EXPECT_EQ(s.cells()[4].proto.id, "rnuma");
+    EXPECT_EQ(s.cells()[5].proto.id, "rnuma-adaptive");
 
     // Repeated and alias spellings dedupe to one cell per protocol
     // instead of tripping the duplicate-cell check.
     opt.protocols = {"rnuma", "R-NUMA", "rnuma"};
     Sweep dedup = findFigure("policies")->build(opt);
-    ASSERT_EQ(dedup.size(), 2u); // baseline + rnuma once
+    ASSERT_EQ(dedup.size(), 4u); // 2 x (baseline + rnuma once)
     EXPECT_EQ(dedup.cells()[1].proto.id, "rnuma");
+}
+
+TEST(FigureRegistry, EvictionStormSeparatesThePoliciesAtCiScale)
+{
+    // Regression for the policy-tie bug: at CI scale (0.1) the old
+    // single hot-reuse microworkload fit the caches, so every
+    // relocation policy produced identical runs. The eviction-heavy
+    // pattern must keep a strict static / adaptive / hysteresis
+    // ordering — static ping-pongs the most relocations, the
+    // escalating adaptive rule fewer, hysteresis (4T re-entry) the
+    // fewest, and every pair stays distinct in both relocation
+    // count and simulated time.
+    FigureOptions opt;
+    opt.scale = 0.1; // exactly the CI figure-pipeline scale
+    opt.protocols = {"rnuma", "rnuma-hysteresis", "rnuma-adaptive"};
+    const FigureSpec *spec = findFigure("policies");
+    ASSERT_NE(spec, nullptr);
+    FigureRun run = runFigure(*spec, opt, 0, /*verify=*/false);
+
+    const RunStats &stat =
+        run.result.at("evict-storm", "rnuma").stats;
+    const RunStats &hyst =
+        run.result.at("evict-storm", "rnuma-hysteresis").stats;
+    const RunStats &adapt =
+        run.result.at("evict-storm", "rnuma-adaptive").stats;
+    EXPECT_GT(stat.relocations, adapt.relocations);
+    EXPECT_GT(adapt.relocations, hyst.relocations);
+    EXPECT_GT(hyst.relocations, 0u);
+    EXPECT_GT(stat.ticks, adapt.ticks);
+    EXPECT_GT(adapt.ticks, hyst.ticks);
+
+    // The hot-reuse pattern still ties at this scale — that is the
+    // documented limitation the second pattern exists to cover, and
+    // it pins why the eviction cell may not regress into an
+    // in-cache pattern.
+    EXPECT_EQ(run.result.at("hot-reuse", "rnuma").stats,
+              run.result.at("hot-reuse", "rnuma-hysteresis").stats);
 }
 
 TEST(FigureRegistry, Fig8IsAPolicySweepOverStaticThresholds)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/runner.hh"
 #include "workload/micro.hh"
 
 #include "test_util.hh"
@@ -40,9 +41,35 @@ TEST(MicroWorkloads, AllHaveAlignedBarriers)
     Params p = test::smallParams();
     expectAlignedBarriers(*makePrivateLoop(p, 2, 2));
     expectAlignedBarriers(*makeHotRemoteReuse(p, 4, 2));
+    expectAlignedBarriers(*makeEvictionStorm(p, 6, 2));
     expectAlignedBarriers(*makeProducerConsumer(p, 2, 3));
     expectAlignedBarriers(*makeAdversary(p, 4, 5));
     expectAlignedBarriers(*makeRwSharing(p, 10));
+}
+
+TEST(MicroWorkloads, EvictionStormMustOverflowThePageCache)
+{
+    // The whole point of the pattern is a reuse set wider than the
+    // page-cache frame budget; a configuration where it fits is a
+    // silent regression back into hot reuse, so the generator
+    // refuses it.
+    Params p = test::smallParams(); // 4 frames
+    EXPECT_THROW(makeEvictionStorm(p, 4, 2), std::logic_error);
+    EXPECT_THROW(makeEvictionStorm(p, 3, 2), std::logic_error);
+    auto wl = makeEvictionStorm(p, 5, 2);
+    EXPECT_GT(wl->memRefCount(), 0u);
+}
+
+TEST(MicroWorkloads, EvictionStormCausesEvictionPingPong)
+{
+    // On the small machine the pattern must actually produce the
+    // relocate/evict churn it exists for: relocations exceeding the
+    // page count prove pages re-entered the page cache after being
+    // evicted.
+    Params p = test::smallParams();
+    auto wl = makeEvictionStorm(p, 8, 6);
+    RunStats s = runProtocol(p, Protocol::RNuma, *wl);
+    EXPECT_GT(s.relocations, 8u);
 }
 
 TEST(MicroWorkloads, PrivateLoopKeepsCpusApart)

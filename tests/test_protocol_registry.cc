@@ -11,8 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "core/analytic_model.hh"
 #include "proto/registry.hh"
 #include "sim/machine.hh"
 #include "sim/runner.hh"
@@ -39,12 +44,13 @@ reuseWorkload(const Params &p)
 TEST(ProtocolRegistry, HasTheBuiltinsInOrder)
 {
     auto all = ProtocolRegistry::global().all();
-    ASSERT_GE(all.size(), 5u);
+    ASSERT_GE(all.size(), 6u);
     EXPECT_EQ(all[0]->id, "ccnuma");
     EXPECT_EQ(all[1]->id, "scoma");
     EXPECT_EQ(all[2]->id, "rnuma");
     EXPECT_EQ(all[3]->id, "rnuma-hysteresis");
     EXPECT_EQ(all[4]->id, "rnuma-adaptive");
+    EXPECT_EQ(all[5]->id, "rnuma-model");
     for (const ProtocolSpec *s : all) {
         EXPECT_TRUE(s->valid()) << s->id;
         EXPECT_FALSE(s->displayName.empty()) << s->id;
@@ -172,6 +178,110 @@ TEST(ProtocolRegistry, HysteresisRelocatesNoMoreThanStatic)
     EXPECT_GT(stat.relocations, 0u);
     EXPECT_LE(hyst.relocations, stat.relocations);
     EXPECT_EQ(stat.refs, hyst.refs); // same workload either way
+}
+
+TEST(ProtocolRegistry, ModelPolicyIsSeededFromTheAnalyticOptimum)
+{
+    // The registry-enabled one-file experiment: rnuma-model's static
+    // threshold comes from AnalyticModel::optimalThreshold() for the
+    // Params the machine actually runs, not from
+    // Params::relocationThreshold.
+    Params p = test::smallParams();
+    const ProtocolSpec &spec = protocolSpec("rnuma-model");
+    ASSERT_TRUE(spec.makePolicy != nullptr);
+    auto policy = spec.makePolicy(p);
+    AnalyticModel model(
+        ModelParams::fromSystem(p, p.blocksPerPage() / 2));
+    auto expected = static_cast<std::size_t>(
+        std::llround(model.optimalThreshold()));
+    if (expected < 1)
+        expected = 1;
+    auto *st = dynamic_cast<StaticThresholdPolicy *>(policy.get());
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->threshold(), expected);
+
+    // And it runs end to end, deterministically, like any builtin.
+    auto wl_a = reuseWorkload(p);
+    auto wl_b = reuseWorkload(p);
+    RunStats a = runProtocol(p, std::string("rnuma-model"), *wl_a);
+    RunStats b = runProtocol(p, std::string("rnuma-model"), *wl_b);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.refs, 0u);
+}
+
+TEST(ProtocolRegistry, ConcurrentRegistrationAndLookupIsSafe)
+{
+    // The registry is process-global shared state; sweep workers may
+    // register ad-hoc specs while others resolve names. Hammer both
+    // paths from many threads — under TSan this is the test that
+    // catches an unguarded table, and even without TSan a torn
+    // vector usually crashes. Registered test specs stay in the
+    // global registry afterwards (specs are never removed), which
+    // is harmless: ids are namespaced with a test prefix.
+    constexpr int writers = 4;
+    constexpr int readers = 4;
+    constexpr int perWriter = 8;
+    // Ids must be fresh per in-process run of this test (e.g.
+    // --gtest_repeat): the global registry never forgets, and a
+    // duplicate registration is fatal — from inside a thread that
+    // would terminate the whole binary.
+    static int runSeq = 0;
+    const std::string prefix =
+        "rnuma-test-race-r" + std::to_string(runSeq++) + "-w";
+    std::atomic<bool> go{false};
+    std::atomic<int> registered{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([w, &go, &registered, &prefix] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < perWriter; ++i) {
+                std::string id = prefix +
+                    std::to_string(w) + "-" + std::to_string(i);
+                ProtocolRegistry::global().add(hybridSpec(
+                    id, "R-NUMA(race)", "concurrency test spec",
+                    [](const Params &) {
+                        return std::unique_ptr<RelocationPolicy>(
+                            std::make_unique<
+                                StaticThresholdPolicy>(1));
+                    }));
+                registered.fetch_add(1);
+            }
+        });
+    }
+    // gtest macros are not thread-safe; readers tally failures into
+    // an atomic and the main thread asserts afterwards.
+    std::atomic<int> readerFailures{0};
+    for (int r = 0; r < readers; ++r) {
+        threads.emplace_back([&go, &readerFailures] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 200; ++i) {
+                // Builtins resolve throughout...
+                if (findProtocolSpec("rnuma") == nullptr)
+                    readerFailures.fetch_add(1);
+                // ...and enumeration yields only valid specs.
+                for (const ProtocolSpec *s :
+                     ProtocolRegistry::global().all()) {
+                    if (!s->valid())
+                        readerFailures.fetch_add(1);
+                }
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(readerFailures.load(), 0);
+    EXPECT_EQ(registered.load(), writers * perWriter);
+    // Every concurrently registered spec is resolvable afterwards.
+    for (int w = 0; w < writers; ++w) {
+        for (int i = 0; i < perWriter; ++i) {
+            std::string id = prefix + std::to_string(w) + "-" +
+                std::to_string(i);
+            EXPECT_NE(findProtocolSpec(id), nullptr) << id;
+        }
+    }
 }
 
 TEST(ProtocolRegistry, HybridSpecComposesCustomPolicies)

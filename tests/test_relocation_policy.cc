@@ -240,33 +240,63 @@ TEST(Adaptive, ThresholdDoublesOnEvictionUpToTheCap)
     EXPECT_EQ(ap.thresholdOf(1), 64u); // clamped at the cap
 }
 
-TEST(Adaptive, ConvergesOnAReuseRefetchCycle)
+TEST(Adaptive, PingPongEscalatesTheReentryBar)
 {
-    // The fig8-style reuse cycle: a page relocates, is evicted by
-    // capacity pressure, refetches, and relocates again. The static
-    // rule pays the full T refetches every round; the adaptive rule
-    // converges to the floor, so each successive relocation costs
-    // fewer refetches — approaching the Eq 3 optimum for pages with
-    // demonstrated reuse.
+    // The Section 3.2 adversary cycle: a page relocates, is evicted
+    // before the relocation pays off, refetches, and relocates
+    // again. Each round trip must get strictly more expensive (T,
+    // 2T, 4T refetches to re-enter) up to the cap — the original
+    // formulation's eviction merely doubled back what the relocation
+    // halved, so the cycle re-entered at exactly the static
+    // threshold forever and "adaptive" was bit-identical to the
+    // static rule on every machine run.
     AdaptiveThresholdPolicy ap(16, 2, 64);
-    std::size_t previous = 17;
-    for (int round = 0; round < 6; ++round) {
+    std::size_t previous = 0;
+    for (int round = 0; round < 4; ++round) {
         std::size_t fired_after = 0;
         while (!ap.onRefetch(7))
             fired_after++;
         fired_after++; // the firing refetch
-        EXPECT_LE(fired_after, previous) << "round " << round;
+        if (round > 0 && previous < 64) {
+            EXPECT_GT(fired_after, previous) << "round " << round;
+        }
         previous = fired_after;
         ap.onRelocated(7);
-        // An eviction follows each relocation in this cycle, so the
-        // halve/double alternate; reuse still wins because the halve
-        // is applied first.
-        if (round < 5)
-            ap.onEvicted(7);
+        ap.onEvicted(7);
     }
-    // Steady state: eviction doubles what relocation halved, so the
-    // cycle settles at the initial threshold, never above it.
-    EXPECT_LE(ap.thresholdOf(7), 16u);
+    // Escalation is capped: 16 -> 32 -> 64 -> 64.
+    EXPECT_EQ(ap.thresholdOf(7), 64u);
+}
+
+TEST(Adaptive, StickyRelocationKeepsTheHalvedThreshold)
+{
+    // A relocation that is *not* undone by an eviction keeps the
+    // page's halved threshold: demonstrated reuse re-enters cheaply.
+    AdaptiveThresholdPolicy ap(16, 2, 64);
+    ap.onRelocated(7);
+    EXPECT_EQ(ap.thresholdOf(7), 8u);
+    ap.reset(7); // unmap: the sticky page's state retires with it
+    EXPECT_EQ(ap.thresholdOf(7), 16u);
+    // Ping-pong (relocate then evict) escalates instead: 2x the
+    // pre-relocation threshold, not a wash.
+    ap.onRelocated(9);
+    ap.onEvicted(9);
+    EXPECT_EQ(ap.thresholdOf(9), 32u);
+}
+
+TEST(Adaptive, EscalationIsExactWhenTheHalveClampedAtTheFloor)
+{
+    // A page whose halve clamped at minT must still escalate to 2x
+    // its actual pre-relocation threshold on eviction — not 4x the
+    // clamped value (the bookkeeping stores the entry threshold,
+    // not a "was relocated" flag).
+    AdaptiveThresholdPolicy ap(16, 4, 64);
+    ap.onRelocated(7); // 16 -> 8
+    ap.onRelocated(7); // 8 -> 4
+    ap.onRelocated(7); // entry 4, clamped at the floor: stays 4
+    EXPECT_EQ(ap.thresholdOf(7), 4u);
+    ap.onEvicted(7);
+    EXPECT_EQ(ap.thresholdOf(7), 8u); // 2 x 4, not 4 x 4
 }
 
 TEST(Adaptive, PureReuseConvergesToTheFloor)
