@@ -291,4 +291,243 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
     return violations;
 }
 
+//--------------------------------------------------------------------------
+// Measured-performance (bench) artifacts
+//--------------------------------------------------------------------------
+
+const BenchCell *
+BenchFigure::find(const std::string &app,
+                  const std::string &config) const
+{
+    for (const BenchCell &c : cells)
+        if (c.app == app && c.config == config)
+            return &c;
+    return nullptr;
+}
+
+const BenchFigure *
+BenchDoc::find(const std::string &name) const
+{
+    for (const BenchFigure &f : figures)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+BenchDoc
+loadBench(const std::string &json_text)
+{
+    JsonValue doc = parseJson(json_text);
+    BenchDoc out;
+    out.schema = stringOr(doc.get("schema"), "");
+    if (out.schema.rfind("rnuma-bench/", 0) != 0)
+        throw std::runtime_error(
+            "not an rnuma-bench document (schema '" + out.schema +
+            "')");
+    out.runs =
+        static_cast<std::size_t>(numberOr(doc.get("runs"), 0));
+    out.scale = numberOr(doc.get("scale"), 1.0);
+    out.jobs =
+        static_cast<std::size_t>(numberOr(doc.get("jobs"), 1));
+    const JsonValue *figures = doc.get("figures");
+    if (!figures || !figures->isArray())
+        throw std::runtime_error("missing 'figures' array");
+    for (const JsonValue &jf : figures->array) {
+        BenchFigure f;
+        f.name = stringOr(jf.get("name"), "?");
+        f.scale = numberOr(jf.get("scale"), out.scale);
+        const JsonValue *cells = jf.get("cells");
+        if (cells && cells->isArray()) {
+            for (const JsonValue &jc : cells->array) {
+                BenchCell c;
+                c.app = stringOr(jc.get("app"), "?");
+                c.config = stringOr(jc.get("config"), "?");
+                std::string proto =
+                    stringOr(jc.get("protocol"), "");
+                if (!proto.empty())
+                    c.protocol = canonicalProtocolId(proto);
+                c.events = static_cast<std::uint64_t>(
+                    numberOr(jc.get("events"), 0));
+                c.ticks = static_cast<std::uint64_t>(
+                    numberOr(jc.get("ticks"), 0));
+                c.refs = static_cast<std::uint64_t>(
+                    numberOr(jc.get("refs"), 0));
+                c.eventsPerInstruction = numberOr(
+                    jc.get("events_per_instruction"), 0);
+                c.medianEventsPerSec = numberOr(
+                    jc.get("median_events_per_sec"), 0);
+                f.cells.push_back(std::move(c));
+            }
+        }
+        out.figures.push_back(std::move(f));
+    }
+    return out;
+}
+
+void
+writeBench(std::ostream &os, const BenchDoc &doc)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value(doc.schema.empty() ? std::string("rnuma-bench/v1")
+                               : doc.schema);
+    w.key("runs");
+    w.value(static_cast<std::uint64_t>(doc.runs));
+    w.key("scale");
+    w.value(doc.scale);
+    w.key("jobs");
+    w.value(static_cast<std::uint64_t>(doc.jobs));
+    w.key("figures");
+    w.beginArray();
+    for (const BenchFigure &f : doc.figures) {
+        w.beginObject();
+        w.key("name");
+        w.value(f.name);
+        w.key("scale");
+        w.value(f.scale);
+        w.key("cells");
+        w.beginArray();
+        for (const BenchCell &c : f.cells) {
+            w.beginObject();
+            w.key("app");
+            w.value(c.app);
+            w.key("config");
+            w.value(c.config);
+            if (!c.protocol.empty()) {
+                w.key("protocol");
+                w.value(c.protocol);
+            }
+            w.key("events");
+            w.value(c.events);
+            w.key("ticks");
+            w.value(c.ticks);
+            w.key("refs");
+            w.value(c.refs);
+            w.key("events_per_instruction");
+            w.value(c.eventsPerInstruction);
+            w.key("median_events_per_sec");
+            w.value(c.medianEventsPerSec);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+std::size_t
+compareBench(const BenchDoc &baseline, const BenchDoc &current,
+             const BenchCompareOptions &opt, std::ostream &os)
+{
+    std::size_t violations = 0;
+    auto fail = [&](const std::string &msg) {
+        violations++;
+        os << "FAIL: " << msg << "\n";
+    };
+    if (baseline.runs != current.runs)
+        os << "note: baseline medians are of " << baseline.runs
+           << " runs, current of " << current.runs << "\n";
+    // Host throughput does not compare across differing sweep
+    // concurrency; counters still must match.
+    bool rateComparable = baseline.jobs == current.jobs;
+    if (!rateComparable && opt.ratePct >= 0)
+        os << "note: events/sec check skipped (baseline ran with "
+           << baseline.jobs << " jobs, current with " << current.jobs
+           << ")\n";
+
+    for (const BenchFigure &bf : baseline.figures) {
+        const BenchFigure *cf = current.find(bf.name);
+        if (!cf) {
+            fail(bf.name + ": figure missing from current bench");
+            continue;
+        }
+        if (!sameScale(bf.scale, cf->scale)) {
+            fail(bf.name + ": scale changed (baseline " +
+                 std::to_string(bf.scale) + ", current " +
+                 std::to_string(cf->scale) +
+                 "); counters are not comparable — re-record the "
+                 "baseline");
+            continue;
+        }
+        std::size_t figure_drift = 0;
+        double worst_drop = 0;
+        for (const BenchCell &bc : bf.cells) {
+            const BenchCell *cc = cf->find(bc.app, bc.config);
+            if (!cc) {
+                fail(bf.name + "/" + bc.app + "/" + bc.config +
+                     ": cell missing from current bench");
+                continue;
+            }
+            const char *counter = nullptr;
+            std::uint64_t bv = 0, cv = 0;
+            if (bc.events != cc->events) {
+                counter = "events";
+                bv = bc.events;
+                cv = cc->events;
+            } else if (bc.ticks != cc->ticks) {
+                counter = "ticks";
+                bv = bc.ticks;
+                cv = cc->ticks;
+            } else if (bc.refs != cc->refs) {
+                counter = "refs";
+                bv = bc.refs;
+                cv = cc->refs;
+            }
+            if (counter) {
+                fail(bf.name + "/" + bc.app + "/" + bc.config +
+                     ": " + counter + " drifted (baseline " +
+                     std::to_string(bv) + ", current " +
+                     std::to_string(cv) + ")");
+                figure_drift++;
+            }
+            if (rateComparable && opt.ratePct >= 0 &&
+                bc.medianEventsPerSec > 0) {
+                double drop_pct = (1.0 - cc->medianEventsPerSec /
+                                             bc.medianEventsPerSec) *
+                    100.0;
+                if (drop_pct > worst_drop)
+                    worst_drop = drop_pct;
+                if (drop_pct > opt.ratePct) {
+                    fail(bf.name + "/" + bc.app + "/" + bc.config +
+                         ": median events/sec regressed " +
+                         std::to_string(drop_pct) +
+                         "% (baseline " +
+                         std::to_string(bc.medianEventsPerSec) +
+                         ", current " +
+                         std::to_string(cc->medianEventsPerSec) +
+                         ", tolerance " +
+                         std::to_string(opt.ratePct) + "%)");
+                }
+            }
+        }
+        for (const BenchCell &cc : cf->cells) {
+            if (!bf.find(cc.app, cc.config))
+                os << "note: " << bf.name << "/" << cc.app << "/"
+                   << cc.config << " is new (not in baseline)\n";
+        }
+        if (figure_drift == 0)
+            os << "ok:   " << bf.name << ": counters identical"
+               << (rateComparable && opt.ratePct >= 0
+                       ? ", worst events/sec drop " +
+                             std::to_string(worst_drop) + "%"
+                       : "")
+               << "\n";
+    }
+    for (const BenchFigure &cf : current.figures) {
+        if (!baseline.find(cf.name))
+            os << "note: figure " << cf.name
+               << " is new (not in baseline)\n";
+    }
+
+    os << (violations == 0 ? "bench-compare: PASS"
+                           : "bench-compare: FAIL (" +
+                                 std::to_string(violations) +
+                                 " violation(s))")
+       << "\n";
+    return violations;
+}
+
 } // namespace rnuma::driver

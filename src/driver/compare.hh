@@ -7,6 +7,12 @@
  * percentage tolerance. Consumed by `rnuma_sweep --compare` and the
  * CI perf-gate job (workflow: .github/workflows/ci.yml; workflow
  * docs: docs/PERFORMANCE.md).
+ *
+ * Also home to the measured-performance ("rnuma-bench/v1") artifact:
+ * the `rnuma_bench` harness measures median-of-N events/sec and
+ * events/instruction per cell, and compareBench() diffs two such
+ * artifacts — exact on the deterministic counters, tolerance-based
+ * on the host-measured rates.
  */
 
 #ifndef RNUMA_DRIVER_COMPARE_HH
@@ -121,6 +127,98 @@ std::size_t compareResults(const ResultDoc &baseline,
                            const ResultDoc &current,
                            const CompareOptions &opt,
                            std::ostream &os);
+
+//--------------------------------------------------------------------------
+// Measured-performance (bench) artifacts
+//--------------------------------------------------------------------------
+
+/**
+ * One cell of an "rnuma-bench/v1" artifact (schema documented in
+ * docs/PERFORMANCE.md). The counters — events, ticks, refs — are
+ * deterministic simulator outputs and diff exactly; the median
+ * events/sec is a host measurement and diffs within a tolerance.
+ * events/instruction (events / refs, with refs as the instruction
+ * proxy) is derived from the counters and therefore equally
+ * noise-immune.
+ */
+struct BenchCell
+{
+    std::string app;
+    std::string config;
+    std::string protocol;
+    std::uint64_t events = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t refs = 0;
+    double eventsPerInstruction = 0;
+    double medianEventsPerSec = 0;
+};
+
+/** One figure of a bench artifact. */
+struct BenchFigure
+{
+    std::string name;
+    double scale = 1.0;
+    std::vector<BenchCell> cells;
+
+    const BenchCell *find(const std::string &app,
+                          const std::string &config) const;
+};
+
+/** A parsed (or freshly measured) bench artifact. */
+struct BenchDoc
+{
+    std::string schema;
+    std::size_t runs = 0; ///< medians are over this many runs
+    double scale = 1.0;
+    std::size_t jobs = 1;
+    std::vector<BenchFigure> figures;
+
+    const BenchFigure *find(const std::string &name) const;
+};
+
+/**
+ * Parse a bench artifact. Throws std::runtime_error on documents
+ * that are not rnuma-bench at all.
+ */
+BenchDoc loadBench(const std::string &json_text);
+
+/** Serialize a bench artifact as indented rnuma-bench/v1 JSON. */
+void writeBench(std::ostream &os, const BenchDoc &doc);
+
+/** Tuning for compareBench. */
+struct BenchCompareOptions
+{
+    /**
+     * Allowed median events/sec *drop*, in percent (improvements
+     * never fail). Single-digit by default: medians-of-N on a quiet
+     * host are repeatable to a few percent. Negative disables the
+     * rate check entirely (counters-only mode — what CI uses on
+     * shared runners, where host throughput is not comparable
+     * between machines).
+     */
+    double ratePct = 8.0;
+};
+
+/**
+ * Diff @p current against @p baseline, writing a per-figure report
+ * to @p os. Returns the number of violations:
+ *
+ * - a figure or cell present in the baseline but missing now, or a
+ *   figure whose scale changed (coverage loss / incomparable);
+ * - per-cell `events`, `ticks`, or `refs` drift — exact comparison
+ *   (deterministic counters, so any drift means behavior changed
+ *   without the baseline being re-recorded);
+ * - per-cell median events/sec below baseline by more than the
+ *   tolerance.
+ *
+ * Differing run counts or job counts are notes, not violations
+ * (medians are comparable across N; rates are not compared across
+ * differing jobs — the rate check is skipped with a note).
+ */
+std::size_t compareBench(const BenchDoc &baseline,
+                         const BenchDoc &current,
+                         const BenchCompareOptions &opt,
+                         std::ostream &os);
 
 } // namespace rnuma::driver
 

@@ -23,6 +23,8 @@ Cache::Cache(std::size_t size_bytes, std::size_t block_bytes,
 {
     RNUMA_ASSERT(block_bytes > 0 && (block_bytes & (block_bytes - 1)) == 0,
                  "block size must be a power of two");
+    while ((std::size_t{1} << blockShift) < block_bytes)
+        ++blockShift;
     if (unbounded) {
         sets = 1;
         return;
@@ -33,13 +35,18 @@ Cache::Cache(std::size_t size_bytes, std::size_t block_bytes,
                  " not divisible by block*assoc");
     sets = size_bytes / (block_bytes * assoc);
     RNUMA_ASSERT(sets >= 1, "cache must have at least one set");
+    setsArePow2 = (sets & (sets - 1)) == 0;
+    setMask = sets - 1;
     lines.resize(sets * assoc);
 }
 
 std::size_t
 Cache::setIndex(Addr a) const
 {
-    return static_cast<std::size_t>((a / blockBytes) % sets);
+    const Addr block = a >> blockShift;
+    if (setsArePow2)
+        return static_cast<std::size_t>(block) & setMask;
+    return static_cast<std::size_t>(block % sets);
 }
 
 CacheLine *
@@ -53,7 +60,9 @@ Cache::find(Addr a)
     std::size_t base = setIndex(a) * assoc;
     for (std::size_t w = 0; w < assoc; ++w) {
         CacheLine &line = lines[base + w];
-        if (line.valid() && line.addr == a)
+        // Tag compare first: it almost always fails, and is cheaper
+        // than the state load on lines that do not match.
+        if (line.addr == a && line.valid())
             return &line;
     }
     return nullptr;
@@ -76,24 +85,30 @@ Cache::allocate(Addr a, Victim &victim)
 {
     a = blockAlign(a);
     victim = Victim{};
-    RNUMA_ASSERT(find(a) == nullptr,
-                 "allocate of already-present block ", a);
     if (unbounded) {
+        RNUMA_ASSERT(find(a) == nullptr,
+                     "allocate of already-present block ", a);
         CacheLine &line = map[a];
         line.addr = a;
         line.state = CacheState::Invalid;
         line.lru = ++lruClock;
         return &line;
     }
+    // One pass over the set both picks the victim and enforces the
+    // not-already-present contract (a second find() would walk the
+    // same ways again).
     std::size_t base = setIndex(a) * assoc;
     CacheLine *chosen = nullptr;
     for (std::size_t w = 0; w < assoc; ++w) {
         CacheLine &line = lines[base + w];
         if (!line.valid()) {
-            chosen = &line;
-            break;
+            if (!chosen || chosen->valid())
+                chosen = &line;
+            continue;
         }
-        if (!chosen || line.lru < chosen->lru)
+        RNUMA_ASSERT(line.addr != a,
+                     "allocate of already-present block ", a);
+        if (!chosen || (chosen->valid() && line.lru < chosen->lru))
             chosen = &line;
     }
     if (chosen->valid()) {

@@ -120,6 +120,19 @@ class Cache
     std::size_t assoc;
     std::size_t sets;
     bool unbounded;
+    /**
+     * find() runs tens of millions of times per figure (every L1
+     * probe, snoop, and invalidation lands here), so the set index
+     * is computed with a shift and mask instead of the division and
+     * modulo the naive form needs. blockShift always applies (block
+     * sizes are asserted powers of two); setMask applies when the
+     * set count is also a power of two — true for every configured
+     * cache in the paper's sweeps — with a modulo fallback for
+     * exotic geometries.
+     */
+    unsigned blockShift = 0;
+    std::size_t setMask = 0;
+    bool setsArePow2 = false;
     std::uint64_t lruClock = 0;
 
     /** Set-indexed storage (finite mode): sets * assoc lines. */

@@ -13,6 +13,7 @@
 #include <bitset>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -53,27 +54,124 @@ struct DirEntry
 /**
  * The directory for the whole machine, keyed by block address. In
  * hardware each home node holds the slice for its own pages; a single
- * map is behaviorally identical and simpler.
+ * store is behaviorally identical and simpler.
+ *
+ * Storage is a page-grouped arena rather than a per-block hash map:
+ * the first touch of any block on a page allocates one fixed-size
+ * group holding that page's `blocks_per_page` entries, so the hash
+ * map shrinks by that factor and consecutive blocks of a page — the
+ * access pattern the workloads overwhelmingly produce — land in
+ * adjacent memory. A one-entry memo of the last group resolved makes
+ * the common same-page run of lookups skip the hash entirely.
+ * Groups are never resized or erased, so entry references stay valid
+ * for the Directory's lifetime (the protocol holds a DirEntry
+ * reference across coherence callbacks that may create entries for
+ * other blocks).
+ *
+ * All block addresses passed in must be block-aligned, as every
+ * protocol call site guarantees (fetch/writeback/flushBlock align
+ * before lookup).
  */
 class Directory
 {
   public:
+    /**
+     * @param block_bytes     coherence block size (power of two)
+     * @param blocks_per_page grouping factor; rounded down to a
+     *        power of two. The defaults degenerate to one entry per
+     *        group (a plain per-block map), which is what the
+     *        geometry-free unit tests construct.
+     */
+    explicit Directory(std::size_t block_bytes = 1,
+                       std::size_t blocks_per_page = 1)
+    {
+        while ((std::size_t{1} << (blockShift_ + 1)) <= block_bytes)
+            ++blockShift_;
+        std::size_t group = 1;
+        while (group * 2 <= blocks_per_page)
+            group *= 2;
+        groupBlocks_ = group;
+        while ((std::size_t{1} << groupShift_) < groupBlocks_)
+            ++groupShift_;
+        idxMask_ = groupBlocks_ - 1;
+    }
+
     /** Find-or-create the entry for a block address. */
-    DirEntry &entry(Addr block) { return entries_[block]; }
+    DirEntry &
+    entry(Addr block)
+    {
+        const Addr bi = block >> blockShift_;
+        Group *g = resolve(bi >> groupShift_, true);
+        const std::size_t idx =
+            static_cast<std::size_t>(bi) & idxMask_;
+        if (!g->live[idx]) {
+            g->live[idx] = 1;
+            ++liveCount_;
+        }
+        return g->entries[idx];
+    }
 
     /** Read-only probe; nullptr when the block was never touched. */
     const DirEntry *
     peek(Addr block) const
     {
-        auto it = entries_.find(block);
-        return it == entries_.end() ? nullptr : &it->second;
+        const Addr bi = block >> blockShift_;
+        const Group *g = const_cast<Directory *>(this)->resolve(
+            bi >> groupShift_, false);
+        if (!g)
+            return nullptr;
+        const std::size_t idx =
+            static_cast<std::size_t>(bi) & idxMask_;
+        return g->live[idx] ? &g->entries[idx] : nullptr;
     }
 
     /** Number of blocks with directory state. */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return liveCount_; }
 
   private:
-    std::unordered_map<Addr, DirEntry> entries_;
+    /**
+     * One page's entries. The vectors are sized once at creation and
+     * never touched again, so DirEntry references are stable.
+     */
+    struct Group
+    {
+        std::vector<DirEntry> entries;
+        std::vector<char> live;
+    };
+
+    Group *
+    resolve(Addr key, bool create)
+    {
+        if (lastGroup_ && lastKey_ == key)
+            return lastGroup_;
+        Group *g;
+        if (create) {
+            Group &ref = groups_[key];
+            if (ref.entries.empty()) {
+                ref.entries.resize(groupBlocks_);
+                ref.live.assign(groupBlocks_, 0);
+            }
+            g = &ref;
+        } else {
+            auto it = groups_.find(key);
+            if (it == groups_.end())
+                return nullptr;
+            g = &it->second;
+        }
+        lastKey_ = key;
+        lastGroup_ = g;
+        return g;
+    }
+
+    unsigned blockShift_ = 0;
+    std::size_t groupBlocks_ = 1;
+    unsigned groupShift_ = 0;
+    std::size_t idxMask_ = 0;
+    std::unordered_map<Addr, Group> groups_;
+    std::size_t liveCount_ = 0;
+    /** Memo of the last group resolved (groups are never erased). */
+    mutable Addr lastKey_ = 0;
+    mutable Group *lastGroup_ = nullptr;
 };
 
 } // namespace rnuma

@@ -10,7 +10,8 @@ GlobalProtocol::GlobalProtocol(const Params &params, Network &net_,
                                CoherenceSink &sink_,
                                std::vector<Memory *> memories)
     : p(params), net(net_), place(placement), sink(sink_),
-      mems(std::move(memories))
+      mems(std::move(memories)),
+      dir(params.blockSize, params.blocksPerPage())
 {
     RNUMA_ASSERT(mems.size() == p.numNodes,
                  "need one memory per node, got ", mems.size());

@@ -10,33 +10,70 @@ PageCache::PageCache(std::size_t frames, std::size_t blocks_per_page)
 {
     RNUMA_ASSERT(capacity >= 1, "page cache needs at least one frame");
     RNUMA_ASSERT(blocksPerPage >= 1, "page needs at least one block");
+    tags_.assign(capacity * blocksPerPage, FineTag::Invalid);
+    valid_.assign(capacity, 0);
+    pageOf_.assign(capacity, 0);
+    prev_.assign(capacity, npos);
+    next_.assign(capacity, npos);
+    // Pop from the back: frames are handed out 0, 1, 2, ...
+    free_.reserve(capacity);
+    for (std::size_t f = capacity; f-- > 0;)
+        free_.push_back(static_cast<std::uint32_t>(f));
+}
+
+std::uint32_t
+PageCache::frameOf(Addr page) const
+{
+    if (lastFrame_ != npos && lastPage_ == page)
+        return lastFrame_;
+    auto it = byPage.find(page);
+    RNUMA_ASSERT(it != byPage.end(), "page ", page, " not cached");
+    lastPage_ = page;
+    lastFrame_ = it->second;
+    return it->second;
+}
+
+void
+PageCache::unlink(std::uint32_t f)
+{
+    const std::uint32_t p = prev_[f];
+    const std::uint32_t n = next_[f];
+    if (p == npos)
+        lrmHead_ = n;
+    else
+        next_[p] = n;
+    if (n == npos)
+        lrmTail_ = p;
+    else
+        prev_[n] = p;
+}
+
+void
+PageCache::linkTail(std::uint32_t f)
+{
+    prev_[f] = lrmTail_;
+    next_[f] = npos;
+    if (lrmTail_ == npos)
+        lrmHead_ = f;
+    else
+        next_[lrmTail_] = f;
+    lrmTail_ = f;
 }
 
 bool
 PageCache::contains(Addr page) const
 {
+    if (lastFrame_ != npos && lastPage_ == page)
+        return true;
     return byPage.find(page) != byPage.end();
-}
-
-PageCache::Frame &
-PageCache::frame(Addr page)
-{
-    auto it = byPage.find(page);
-    RNUMA_ASSERT(it != byPage.end(), "page ", page, " not cached");
-    return it->second;
-}
-
-const PageCache::Frame &
-PageCache::frame(Addr page) const
-{
-    return const_cast<PageCache *>(this)->frame(page);
 }
 
 Addr
 PageCache::lrmVictim() const
 {
-    RNUMA_ASSERT(!lrm.empty(), "victim requested from empty page cache");
-    return lrm.front();
+    RNUMA_ASSERT(lrmHead_ != npos,
+                 "victim requested from empty page cache");
+    return pageOf_[lrmHead_];
 }
 
 void
@@ -44,12 +81,17 @@ PageCache::insert(Addr page)
 {
     RNUMA_ASSERT(!contains(page), "page ", page, " already cached");
     RNUMA_ASSERT(!full(), "page cache full");
-    Frame f;
-    f.tags.assign(blocksPerPage, FineTag::Invalid);
-    auto [it, ok] = byPage.emplace(page, std::move(f));
-    (void)ok;
-    lrm.push_back(page);
-    it->second.lrmPos = std::prev(lrm.end());
+    const std::uint32_t f = free_.back();
+    free_.pop_back();
+    FineTag *t = frameTags(f);
+    for (std::size_t i = 0; i < blocksPerPage; ++i)
+        t[i] = FineTag::Invalid;
+    valid_[f] = 0;
+    pageOf_[f] = page;
+    byPage.emplace(page, f);
+    linkTail(f);
+    lastPage_ = page;
+    lastFrame_ = f;
 }
 
 void
@@ -57,43 +99,44 @@ PageCache::erase(Addr page)
 {
     auto it = byPage.find(page);
     RNUMA_ASSERT(it != byPage.end(), "erasing uncached page ", page);
-    lrm.erase(it->second.lrmPos);
+    const std::uint32_t f = it->second;
+    unlink(f);
     byPage.erase(it);
+    free_.push_back(f);
+    lastFrame_ = npos;
 }
 
 void
 PageCache::recordMiss(Addr page)
 {
-    Frame &f = frame(page);
-    lrm.splice(lrm.end(), lrm, f.lrmPos);
-    f.lrmPos = std::prev(lrm.end());
+    const std::uint32_t f = frameOf(page);
+    if (lrmTail_ == f)
+        return; // already most recently missed
+    unlink(f);
+    linkTail(f);
 }
 
 FineTag
 PageCache::tag(Addr page, std::size_t idx) const
 {
-    const Frame &f = frame(page);
-    RNUMA_ASSERT(idx < f.tags.size(), "bad block index ", idx);
-    return f.tags[idx];
+    RNUMA_ASSERT(idx < blocksPerPage, "bad block index ", idx);
+    return frameTags(frameOf(page))[idx];
 }
 
 void
 PageCache::setTag(Addr page, std::size_t idx, FineTag t)
 {
-    Frame &f = frame(page);
-    RNUMA_ASSERT(idx < f.tags.size(), "bad block index ", idx);
-    f.tags[idx] = t;
+    RNUMA_ASSERT(idx < blocksPerPage, "bad block index ", idx);
+    const std::uint32_t f = frameOf(page);
+    FineTag &slot = frameTags(f)[idx];
+    valid_[f] += (t != FineTag::Invalid) - (slot != FineTag::Invalid);
+    slot = t;
 }
 
 std::size_t
 PageCache::validBlocks(Addr page) const
 {
-    const Frame &f = frame(page);
-    std::size_t n = 0;
-    for (FineTag t : f.tags)
-        if (t != FineTag::Invalid)
-            ++n;
-    return n;
+    return valid_[frameOf(page)];
 }
 
 void
@@ -101,10 +144,10 @@ PageCache::forEachValid(
     Addr page,
     const std::function<void(std::size_t, FineTag)> &fn) const
 {
-    const Frame &f = frame(page);
-    for (std::size_t i = 0; i < f.tags.size(); ++i)
-        if (f.tags[i] != FineTag::Invalid)
-            fn(i, f.tags[i]);
+    const FineTag *t = frameTags(frameOf(page));
+    for (std::size_t i = 0; i < blocksPerPage; ++i)
+        if (t[i] != FineTag::Invalid)
+            fn(i, t[i]);
 }
 
 } // namespace rnuma

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -87,20 +86,42 @@ class PageCache
         const std::function<void(std::size_t, FineTag)> &fn) const;
 
   private:
-    struct Frame
-    {
-        std::vector<FineTag> tags;
-        std::list<Addr>::iterator lrmPos;
-    };
+    /**
+     * Struct-of-arrays frame storage, indexed by frame slot. The tag
+     * arena is one flat allocation (capacity * blocksPerPage), the
+     * LRM list is intrusive (index links instead of std::list
+     * nodes), and per-frame valid-tag counts are maintained
+     * incrementally so validBlocks() — which page-operation costs
+     * consult on every allocation, replacement, and relocation — is
+     * O(1) instead of a scan. A one-entry page->frame memo rides on
+     * top: the RADs probe the same page several times per access
+     * (tag read, tag write, miss bookkeeping), and the memo turns
+     * all but the first probe into two loads.
+     */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
 
     std::size_t capacity;
     std::size_t blocksPerPage;
-    std::unordered_map<Addr, Frame> byPage;
-    /** Front = least recently missed; back = most recently missed. */
-    std::list<Addr> lrm;
+    std::vector<FineTag> tags_;        ///< capacity * blocksPerPage
+    std::vector<std::uint32_t> valid_; ///< valid tags per frame
+    std::vector<Addr> pageOf_;         ///< page cached in each frame
+    std::vector<std::uint32_t> prev_;  ///< LRM links (npos = end)
+    std::vector<std::uint32_t> next_;
+    std::uint32_t lrmHead_ = npos; ///< least recently missed
+    std::uint32_t lrmTail_ = npos; ///< most recently missed
+    std::vector<std::uint32_t> free_; ///< unused frame slots
+    std::unordered_map<Addr, std::uint32_t> byPage;
+    mutable Addr lastPage_ = 0;             ///< memo key
+    mutable std::uint32_t lastFrame_ = npos; ///< memo value
 
-    Frame &frame(Addr page);
-    const Frame &frame(Addr page) const;
+    std::uint32_t frameOf(Addr page) const;
+    void unlink(std::uint32_t f);
+    void linkTail(std::uint32_t f);
+    FineTag *frameTags(std::uint32_t f) { return &tags_[f * blocksPerPage]; }
+    const FineTag *frameTags(std::uint32_t f) const
+    {
+        return &tags_[f * blocksPerPage];
+    }
 };
 
 } // namespace rnuma

@@ -78,6 +78,17 @@ EventQueue::EventQueue(std::size_t window)
 {
 }
 
+std::size_t
+EventQueue::autoWindow(Tick typical_max_delta)
+{
+    constexpr std::size_t cap = std::size_t{1} << 16;
+    if (typical_max_delta >= cap)
+        return cap;
+    std::size_t want =
+        static_cast<std::size_t>(typical_max_delta) + 1;
+    return roundWindow(want < 64 ? 64 : want);
+}
+
 void
 EventQueue::schedule(Tick when, std::uint32_t tag)
 {

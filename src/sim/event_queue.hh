@@ -119,6 +119,18 @@ class EventQueue
      */
     explicit EventQueue(std::size_t window = 1024);
 
+    /**
+     * The window for a workload whose common scheduling deltas are
+     * bounded by @p typical_max_delta ticks: the smallest power of
+     * two covering the span, clamped to [64, 65536]. Window size
+     * never affects pop order — only how often events overflow to
+     * the far heap — so auto-sizing is bit-identity-safe by
+     * construction. The cap keeps pathological spans (page-op-scale
+     * deltas belong in the heap) from inflating the bucket array
+     * past the cache-resident sizes the calendar is designed for.
+     */
+    static std::size_t autoWindow(Tick typical_max_delta);
+
     /** Calendar span actually in use (post-rounding). */
     std::size_t windowSize() const { return window_; }
 

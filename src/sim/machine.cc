@@ -5,11 +5,30 @@
 namespace rnuma
 {
 
+namespace
+{
+
+/**
+ * The calendar span for this run: the workload's largest think time
+ * plus the longest common block-level service chain (an uncontended
+ * remote fetch and a barrier release). Page operations and heavy
+ * contention exceed it by design and overflow into the far heap.
+ */
+std::size_t
+calendarSpanFor(const Params &p, const Workload &wl)
+{
+    return EventQueue::autoWindow(wl.maxThink() + p.remoteFetch() +
+                                  p.barrierCost);
+}
+
+} // namespace
+
 Machine::Machine(const Params &params, const ProtocolSpec &spec,
                  Workload &wl_)
     : p(params), protocolId_(spec.id), wl(wl_),
       cpuMap{params.cpusPerNode},
-      net_(params.numNodes, params.netLatency, params.niOccupancy)
+      net_(params.numNodes, params.netLatency, params.niOccupancy),
+      eq_(calendarSpanFor(params, wl_))
 {
     p.validate();
     RNUMA_ASSERT(spec.valid(), "protocol spec '", spec.id,

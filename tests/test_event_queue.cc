@@ -252,6 +252,93 @@ TEST(EventQueueParity, NonDefaultWindowsMatchTheHeapReference)
     }
 }
 
+TEST(EventQueue, AutoWindowCoversTheSpanWithinTheClamp)
+{
+    // The machine sizes its calendar from the workload's tick span
+    // (maxThink + the longest common service chain). The policy:
+    // smallest power of two covering the span, clamped to
+    // [64, 65536]. Window size never affects pop order, so these
+    // pins guard the sizing itself, not correctness.
+    EXPECT_EQ(EventQueue::autoWindow(0), 64u);
+    EXPECT_EQ(EventQueue::autoWindow(63), 64u);
+    EXPECT_EQ(EventQueue::autoWindow(64), 128u);
+    EXPECT_EQ(EventQueue::autoWindow(500), 512u);
+    // The paper's base machine: maxThink + remoteFetch(376) +
+    // barrierCost(100) = 476 fits in a 512 window — half the 1024
+    // the queue used to default to.
+    EXPECT_EQ(EventQueue::autoWindow(476), 512u);
+    EXPECT_EQ(EventQueue::autoWindow(1000), 1024u);
+    EXPECT_EQ(EventQueue::autoWindow(40000), 65536u);
+    // Page-op-scale spans hit the cap instead of inflating the
+    // bucket array.
+    EXPECT_EQ(EventQueue::autoWindow(~Tick{0}), 65536u);
+    // The result is always directly constructible.
+    for (Tick d : {Tick{0}, Tick{1000}, Tick{70000}})
+        EXPECT_EQ(EventQueue(EventQueue::autoWindow(d)).windowSize(),
+                  EventQueue::autoWindow(d));
+}
+
+TEST(EventQueueParity, RandomizedSpansMatchTheHeapReference)
+{
+    // The auto-sizing logic means production calendars can now have
+    // any power-of-two span, not just the defaults; replay the
+    // simulator-shaped stream at ~20 randomized window requests
+    // (1 .. ~128k ticks, rounded up inside the queue) and hold the
+    // (when, seq) contract at every one.
+    Rng windowRng(0x5eed5);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::size_t want = static_cast<std::size_t>(
+            1 + windowRng.below(131072));
+        EventQueue cal(want);
+        HeapEventQueue heap;
+        Rng rng(0xfeed00 + trial);
+        Tick now = 0;
+        std::size_t pendingCount = 0;
+        for (int step = 0; step < 4000; ++step) {
+            bool doSchedule =
+                pendingCount == 0 || rng.chance(0.55);
+            if (doSchedule) {
+                Tick delta;
+                std::uint64_t shape = rng.below(100);
+                if (shape < 70)
+                    delta = rng.below(16);
+                else if (shape < 90)
+                    delta = 60 + rng.below(400);
+                else if (shape < 97)
+                    delta = 3000 + rng.below(9000);
+                else
+                    delta = 0;
+                std::uint32_t tag =
+                    static_cast<std::uint32_t>(rng.below(32));
+                cal.schedule(now + delta, tag);
+                heap.schedule(now + delta, tag);
+                pendingCount++;
+            } else {
+                ASSERT_EQ(cal.peekTime(), heap.peekTime())
+                    << "window " << want << " step " << step;
+                Event a = cal.pop();
+                Event b = heap.pop();
+                ASSERT_EQ(a.when, b.when)
+                    << "window " << want << " step " << step;
+                ASSERT_EQ(a.seq, b.seq)
+                    << "window " << want << " step " << step;
+                ASSERT_EQ(a.tag, b.tag)
+                    << "window " << want << " step " << step;
+                now = a.when;
+                pendingCount--;
+            }
+        }
+        while (!cal.empty()) {
+            Event a = cal.pop();
+            Event b = heap.pop();
+            ASSERT_EQ(a.when, b.when) << "window " << want;
+            ASSERT_EQ(a.seq, b.seq) << "window " << want;
+            ASSERT_EQ(a.tag, b.tag) << "window " << want;
+        }
+        EXPECT_TRUE(heap.empty()) << "window " << want;
+    }
+}
+
 TEST(EventQueueParity, MassTiesPreserveInsertionOrder)
 {
     // Many events on few distinct ticks: the FIFO-per-bucket path.

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Randomized round-trip fuzzing of the dependency-free JSON
+ * writer/parser pair (src/driver/json.{hh,cc}): generated nested
+ * documents — NaN cells (serialized as null), deep objects/arrays,
+ * strings full of escapes and control characters, big integers at
+ * the double-exact limit — must survive write -> parse -> write with
+ * the two serializations byte-identical. This is the safety net
+ * under every artifact the drivers emit (sweep results, bench
+ * baselines): if serialization and parsing ever disagree, the
+ * perf gates would diff garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "driver/json.hh"
+
+namespace rnuma::driver
+{
+
+namespace
+{
+
+/** Serialize a parsed-value tree back through the writer. */
+void
+emit(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        // The writer has no explicit null; NaN serializes as null,
+        // which is exactly the round-trip under test.
+        w.value(std::nan(""));
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Kind::Number:
+        w.value(v.number);
+        break;
+      case JsonValue::Kind::String:
+        w.value(v.str);
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &e : v.array)
+            emit(w, e);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &kv : v.object) {
+            w.key(kv.first);
+            emit(w, kv.second);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+emitDoc(const JsonValue &v)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    emit(w, v);
+    return os.str();
+}
+
+std::string
+randomString(Rng &rng)
+{
+    // Bias hard toward the characters that need escaping: quotes,
+    // backslashes, control characters, and non-ASCII bytes.
+    static const char pool[] = "\"\\\n\r\t\b\f/ab\x01\x1f{}[]:,";
+    std::string s;
+    std::size_t len = rng.below(12);
+    for (std::size_t i = 0; i < len; ++i)
+        s += pool[rng.below(sizeof(pool) - 1)];
+    return s;
+}
+
+double
+randomNumber(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0:
+        // Big integers at the exactly-representable limit (2^53).
+        return static_cast<double>(rng.below(std::uint64_t{1}
+                                             << 53));
+      case 1:
+        return -static_cast<double>(rng.below(1u << 30));
+      case 2:
+        return rng.uniform() * 1e-9;
+      case 3:
+        return rng.uniform() * 1e17;
+      default:
+        // NaN cells: the writer must collapse them to null.
+        return std::nan("");
+    }
+}
+
+JsonValue
+randomValue(Rng &rng, int depth)
+{
+    JsonValue v;
+    // Leaves only at the depth limit; containers get likelier near
+    // the root.
+    std::uint64_t kind = rng.below(depth > 0 ? 6 : 4);
+    switch (kind) {
+      case 0:
+        v.kind = JsonValue::Kind::Null;
+        break;
+      case 1:
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = rng.chance(0.5);
+        break;
+      case 2: {
+        double n = randomNumber(rng);
+        if (std::isnan(n)) {
+            // What the parser will see after the writer nulls it.
+            v.kind = JsonValue::Kind::Null;
+        } else {
+            v.kind = JsonValue::Kind::Number;
+            v.number = n;
+        }
+        break;
+      }
+      case 3:
+        v.kind = JsonValue::Kind::String;
+        v.str = randomString(rng);
+        break;
+      case 4: {
+        v.kind = JsonValue::Kind::Array;
+        std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            v.array.push_back(randomValue(rng, depth - 1));
+        break;
+      }
+      default: {
+        v.kind = JsonValue::Kind::Object;
+        std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            v.object.emplace_back(randomString(rng) +
+                                      std::to_string(i),
+                                  randomValue(rng, depth - 1));
+        break;
+      }
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(JsonRoundTrip, RandomizedDocumentsAreByteStable)
+{
+    Rng rng(0x90115e7);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Top level is always a container, as real documents are.
+        JsonValue doc;
+        doc.kind = iter % 2 ? JsonValue::Kind::Object
+                            : JsonValue::Kind::Array;
+        std::size_t n = 1 + rng.below(4);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (doc.kind == JsonValue::Kind::Object)
+                doc.object.emplace_back(
+                    randomString(rng) + std::to_string(i),
+                    randomValue(rng, 4));
+            else
+                doc.array.push_back(randomValue(rng, 4));
+        }
+
+        std::string once = emitDoc(doc);
+        JsonValue parsed;
+        ASSERT_NO_THROW(parsed = parseJson(once))
+            << "iter " << iter << "\n" << once;
+        std::string twice = emitDoc(parsed);
+        ASSERT_EQ(once, twice) << "iter " << iter;
+    }
+}
+
+TEST(JsonRoundTrip, NanAndInfinitySerializeAsNull)
+{
+    JsonValue doc;
+    doc.kind = JsonValue::Kind::Array;
+    JsonValue nan;
+    nan.kind = JsonValue::Kind::Number;
+    nan.number = std::nan("");
+    JsonValue inf;
+    inf.kind = JsonValue::Kind::Number;
+    inf.number = HUGE_VAL;
+    doc.array.push_back(nan);
+    doc.array.push_back(inf);
+
+    std::string text = emitDoc(doc);
+    JsonValue parsed = parseJson(text);
+    ASSERT_EQ(parsed.array.size(), 2u);
+    EXPECT_EQ(parsed.array[0].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(parsed.array[1].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(text, emitDoc(parsed));
+}
+
+TEST(JsonRoundTrip, BigIntegersSurviveExactly)
+{
+    // 2^53 - 1 is the largest odd integer a double represents
+    // exactly; the %.17g writer and strtod parser must agree on it.
+    JsonValue doc;
+    doc.kind = JsonValue::Kind::Array;
+    for (double v : {9007199254740991.0, 9007199254740992.0,
+                     4503599627370497.0, 1e15 + 1}) {
+        JsonValue n;
+        n.kind = JsonValue::Kind::Number;
+        n.number = v;
+        doc.array.push_back(n);
+    }
+    std::string once = emitDoc(doc);
+    JsonValue parsed = parseJson(once);
+    for (std::size_t i = 0; i < doc.array.size(); ++i)
+        EXPECT_EQ(parsed.array[i].number, doc.array[i].number) << i;
+    EXPECT_EQ(once, emitDoc(parsed));
+}
+
+} // namespace rnuma::driver

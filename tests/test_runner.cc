@@ -14,6 +14,7 @@
 
 #include "sim/runner.hh"
 #include "workload/micro.hh"
+#include "workload/registry.hh"
 
 #include "test_util.hh"
 
@@ -123,6 +124,38 @@ TEST(ComparisonMatrixTest, SerialAndParallelAreBitIdentical)
     EXPECT_EQ(cs.ccNuma, cp.ccNuma);
     EXPECT_EQ(cs.sComa, cp.sComa);
     EXPECT_EQ(cs.rNuma, cp.rNuma);
+}
+
+TEST(ComparisonMatrixTest, RegistryAppsAreDeterministicAcrossJobs)
+{
+    // The differential-determinism safety net under the hot-path
+    // layout work (arena directory, SoA page cache, auto-sized
+    // calendar): every registered protocol on real application
+    // generators, serial vs jobs=4, must produce bit-identical
+    // RunStats — all 28 counters, via RunStats::operator== — at more
+    // than one scale, so a data-layout change that silently breaks
+    // reproducibility cannot land.
+    Params p = test::smallParams();
+    for (const char *app : {"barnes", "em3d", "moldyn"}) {
+        for (double scale : {0.02, 0.05}) {
+            auto make = [&]() -> std::unique_ptr<Workload> {
+                return makeApp(app, p, scale, /*seed=*/7);
+            };
+            auto wl = make();
+            ComparisonMatrix serial = compareAll(p, *wl);
+            ComparisonMatrix par = compareAll(p, make, {}, 4);
+            EXPECT_EQ(par.baseline, serial.baseline)
+                << app << " scale " << scale;
+            ASSERT_EQ(par.entries.size(), serial.entries.size());
+            for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+                EXPECT_EQ(par.entries[i].id, serial.entries[i].id);
+                EXPECT_EQ(par.entries[i].stats,
+                          serial.entries[i].stats)
+                    << app << " scale " << scale << " "
+                    << serial.entries[i].id;
+            }
+        }
+    }
 }
 
 TEST(ComparisonMatrixTest, WinnerAndRegretAreCoherent)
