@@ -1,5 +1,8 @@
 #include "common/params.hh"
 
+#include <string>
+
+#include "common/geometry.hh"
 #include "common/logging.hh"
 
 namespace rnuma
@@ -34,6 +37,20 @@ Params::soft()
     p.tlbShootdown = 2000;
     p.validate();
     return p;
+}
+
+std::string
+Params::directoryId() const
+{
+    switch (dirFormat) {
+      case SharerFormat::FullMap:
+        return "full-map";
+      case SharerFormat::LimitedPointer:
+        return "limited-pointer-" + std::to_string(dirPointers);
+      case SharerFormat::CoarseVector:
+        return "coarse-vector-" + std::to_string(dirRegionSize);
+    }
+    return "?";
 }
 
 std::uint64_t
@@ -72,6 +89,19 @@ Params::fingerprint() const
     mix(pageSetup);
     mix(blockFlush);
     mix(barrierCost);
+    // FNV-1a over the model id keeps the hash stable across builds
+    // (std::hash would be implementation-defined).
+    std::uint64_t name_hash = 0xcbf29ce484222325ULL;
+    for (char c : networkModel) {
+        name_hash ^= static_cast<unsigned char>(c);
+        name_hash *= 0x100000001b3ULL;
+    }
+    mix(name_hash);
+    mix(hopLatency);
+    mix(linkOccupancy);
+    mix(static_cast<std::uint64_t>(dirFormat));
+    mix(dirPointers);
+    mix(dirRegionSize);
     return h;
 }
 
@@ -93,6 +123,27 @@ Params::validate() const
     RNUMA_ASSERT(pageCacheFrames() >= 1, "page cache needs >= 1 frame");
     RNUMA_ASSERT(relocationThreshold >= 1,
                  "relocation threshold must be positive");
+    // Geometry the chosen topology cannot embed is a configuration
+    // error, not a runtime surprise. The ids are checked by name so
+    // the common layer stays independent of net/registry; unknown ids
+    // are rejected later by makeNetwork().
+    if (networkModel == "mesh-2d") {
+        RNUMA_ASSERT(meshDims(numNodes, nullptr, nullptr),
+                     "mesh-2d cannot embed ", numNodes,
+                     " nodes in a rectangular (<= 2:1) mesh");
+        RNUMA_ASSERT(hopLatency >= 1, "mesh hopLatency must be >= 1");
+    }
+    if (networkModel == "fat-tree") {
+        RNUMA_ASSERT(isPow2(numNodes),
+                     "fat-tree needs a power-of-two node count, got ",
+                     numNodes);
+        RNUMA_ASSERT(hopLatency >= 1,
+                     "fat-tree hopLatency must be >= 1");
+    }
+    RNUMA_ASSERT(dirPointers >= 1,
+                 "limited-pointer directory needs >= 1 pointer");
+    RNUMA_ASSERT(dirRegionSize >= 1,
+                 "coarse-vector region size must be >= 1");
 }
 
 } // namespace rnuma

@@ -9,6 +9,7 @@
 #define RNUMA_COMMON_PARAMS_HH
 
 #include <cstddef>
+#include <string>
 
 #include "common/types.hh"
 
@@ -68,6 +69,27 @@ struct Params
      */
     bool priorOwnerState = true;
 
+    //--- Interconnect model (net/registry.hh) ----------------------------
+    /**
+     * Registered network model id: "constant" (the paper's fixed
+     * point-to-point latency, the default), "mesh-2d"
+     * (dimension-ordered routing with per-hop link contention), or
+     * "fat-tree" (log-distance hop latency, contention-free links).
+     */
+    std::string networkModel = "constant";
+    /** Per-hop wire latency for topology models (mesh-2d, fat-tree). */
+    Tick hopLatency = 25;
+    /** Per-message occupancy of one mesh link (contention unit). */
+    Tick linkOccupancy = 4;
+
+    //--- Directory sharer-set format (proto/directory.hh) ----------------
+    /** Sharer-set representation for directory entries. */
+    SharerFormat dirFormat = SharerFormat::FullMap;
+    /** Exact pointers per entry for SharerFormat::LimitedPointer. */
+    std::size_t dirPointers = 4;
+    /** Nodes per region bit for SharerFormat::CoarseVector. */
+    std::size_t dirRegionSize = 8;
+
     //--- Block operation costs (Table 2) --------------------------------
     /** SRAM access: block cache, fine-grain tags, translation table. */
     Tick sramAccess = 8;
@@ -120,17 +142,33 @@ struct Params
     Tick localFill() const { return busLatency + dramAccess; }
 
     /**
-     * Uncontended two-hop remote fetch latency (Table 2: 376 cycles):
-     * bus + RAD out + NI + net + (directory + memory) + NI + net +
-     * RAD in + bus.
+     * Uncontended two-hop remote fetch latency given a one-way wire
+     * latency: bus + RAD out + NI + wire + (directory + memory) +
+     * NI + wire + RAD in + bus. The wire term comes from the network
+     * model (NetworkModel::meanLatency(), or latency(from, to) for a
+     * specific pair); passing netLatency reproduces Table 2's 376
+     * cycles for the constant model.
      */
     Tick
-    remoteFetch() const
+    remoteFetch(Tick wire) const
     {
-        return busLatency + radOccupancy + niOccupancy + netLatency +
-            dirAccess + dramAccess + niOccupancy + netLatency +
+        return busLatency + radOccupancy + niOccupancy + wire +
+            dirAccess + dramAccess + niOccupancy + wire +
             radOccupancy + busLatency;
     }
+
+    /**
+     * The constant-model remote fetch latency (Table 2: 376 cycles).
+     * Call remoteFetchLatency(params) (net/registry.hh) for the
+     * model-derived figure under a non-constant interconnect.
+     */
+    Tick remoteFetch() const { return remoteFetch(netLatency); }
+
+    /**
+     * Stable directory-format id for artifacts and the compare gate:
+     * "full-map", "limited-pointer-<i>", or "coarse-vector-<r>".
+     */
+    std::string directoryId() const;
 
     /** Block cache hit latency: bus + SRAM + bus transfer. */
     Tick blockCacheHit() const { return busLatency + sramAccess +

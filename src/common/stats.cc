@@ -88,6 +88,9 @@ RunStats::print(std::ostream &os) const
        << "\nbusWait=" << busWait
        << " niWait=" << niWait
        << " osCycles=" << osCycles
+       << "\nnetMessages=" << net.totalMessages()
+       << " dirEntries=" << dirEntries
+       << " dirBits=" << dirBits
        << "\n";
 }
 
@@ -98,6 +101,15 @@ operator==(const PageStats &a, const PageStats &b)
         a.remoteFetches == b.remoteFetches &&
         a.remoteRead == b.remoteRead &&
         a.remoteWrite == b.remoteWrite;
+}
+
+bool
+operator==(const NetworkStats &a, const NetworkStats &b)
+{
+    for (std::size_t k = 0; k < numMsgKinds; ++k)
+        if (a.messages[k] != b.messages[k])
+            return false;
+    return true;
 }
 
 bool
@@ -123,7 +135,9 @@ operator==(const RunStats &a, const RunStats &b)
         a.scomaReplacements == b.scomaReplacements &&
         a.relocations == b.relocations && a.busWait == b.busWait &&
         a.niWait == b.niWait && a.osCycles == b.osCycles &&
-        a.stallCycles == b.stallCycles && a.pages == b.pages;
+        a.stallCycles == b.stallCycles && a.net == b.net &&
+        a.dirEntries == b.dirEntries && a.dirBits == b.dirBits &&
+        a.pages == b.pages;
 }
 
 } // namespace rnuma

@@ -38,6 +38,29 @@ struct PageStats
     bool readWriteShared() const { return remoteRead && remoteWrite; }
 };
 
+/**
+ * Per-kind interconnect message counters, indexed by MsgKind. The
+ * value-semantic normalization of the NetworkModel accessors, carried
+ * in RunStats and the JSON sinks (v5 schema).
+ */
+struct NetworkStats
+{
+    std::uint64_t messages[numMsgKinds] = {};
+
+    std::uint64_t count(MsgKind kind) const
+    {
+        return messages[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t totalMessages() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t m : messages)
+            total += m;
+        return total;
+    }
+};
+
 /** Classification of a remote block fetch (see DESIGN.md section 7). */
 enum class MissKind : std::uint8_t
 {
@@ -94,6 +117,18 @@ struct RunStats
     Tick osCycles = 0;  ///< cycles spent in page faults/relocations
     Tick stallCycles = 0; ///< total CPU memory-stall cycles
 
+    //--- Interconnect & directory footprint -----------------------------
+    /** Per-kind message counts from the network model. */
+    NetworkStats net;
+    /** Live directory entries at end of run. */
+    std::uint64_t dirEntries = 0;
+    /**
+     * Modeled directory storage in bits: live entries times the
+     * per-entry cost of the configured sharer-set format (O(nodes)
+     * for full-map, O(sharers) for the sparse formats).
+     */
+    std::uint64_t dirBits = 0;
+
     /** Per-page statistics keyed by page number (addr / pageSize). */
     std::unordered_map<Addr, PageStats> pages;
 
@@ -131,7 +166,12 @@ struct RunStats
  * bit-identical to serial execution.
  */
 bool operator==(const PageStats &a, const PageStats &b);
+bool operator==(const NetworkStats &a, const NetworkStats &b);
 bool operator==(const RunStats &a, const RunStats &b);
+inline bool operator!=(const NetworkStats &a, const NetworkStats &b)
+{
+    return !(a == b);
+}
 inline bool operator!=(const PageStats &a, const PageStats &b)
 {
     return !(a == b);

@@ -32,8 +32,42 @@ constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
 /** Sentinel address used for "no block / no page". */
 constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
 
-/** Upper bound on nodes; sizes the directory sharer bitsets. */
-constexpr std::size_t maxNodes = 64;
+/**
+ * Upper bound on nodes; sizes the full-map directory sharer bitsets
+ * and the exact `touched` classification sets. 512 is the scaling
+ * ceiling ROADMAP item 2 targets; sparse directory formats
+ * (proto/directory.hh) keep per-entry state O(sharers) regardless.
+ */
+constexpr std::size_t maxNodes = 512;
+
+/** Message categories, for traffic accounting. */
+enum class MsgKind : std::uint8_t
+{
+    Request,      ///< block fetch request to a home
+    Reply,        ///< data reply from a home
+    Invalidate,   ///< directory-initiated invalidation
+    Forward,      ///< three-hop forward to a dirty owner
+    Writeback,    ///< voluntary block writeback
+    Flush         ///< page-replacement flush of a block
+};
+
+constexpr std::size_t numMsgKinds = 6;
+
+/**
+ * Directory sharer-set representation (proto/directory.hh). FullMap
+ * is the paper's exact per-node bit vector; LimitedPointer (Dir_iB)
+ * stores up to Params::dirPointers exact node ids and degrades to
+ * broadcast on overflow; CoarseVector keeps one bit per
+ * Params::dirRegionSize-node region. Both sparse formats
+ * over-approximate: they may invalidate non-sharers but never miss a
+ * true sharer.
+ */
+enum class SharerFormat : std::uint8_t
+{
+    FullMap,
+    LimitedPointer,
+    CoarseVector
+};
 
 /**
  * Legacy shorthand for the three remote-data caching systems the

@@ -1,6 +1,7 @@
 #include "core/analytic_model.hh"
 
 #include "common/logging.hh"
+#include "net/registry.hh"
 
 namespace rnuma
 {
@@ -9,7 +10,10 @@ ModelParams
 ModelParams::fromSystem(const Params &p, std::size_t blocks_moved)
 {
     ModelParams mp;
-    mp.cRefetch = static_cast<double>(p.remoteFetch());
+    // Model-derived, so Eq 1-3 track the selected interconnect: the
+    // wire term is the network model's mean pairwise latency (376
+    // cycles total under the default constant model, Table 2).
+    mp.cRefetch = static_cast<double>(remoteFetchLatency(p));
     mp.cAllocate = static_cast<double>(p.pageOpCost(blocks_moved));
     mp.cRelocate = static_cast<double>(p.pageOpCost(blocks_moved));
     return mp;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "driver/json.hh"
+#include "net/registry.hh"
 #include "proto/registry.hh"
 
 namespace rnuma::driver
@@ -115,6 +116,14 @@ loadResults(const std::string &json_text)
                     stringOr(jc.get("protocol"), "");
                 if (!proto.empty())
                     c.protocol = canonicalProtocolId(proto);
+                // v5 carries per-cell network/directory ids; older
+                // documents predate both axes, so their cells keep
+                // the "constant"/"full-map" defaults — the only
+                // configuration those baselines could have run.
+                c.network = canonicalNetworkId(
+                    stringOr(jc.get("network"), c.network));
+                c.directory =
+                    stringOr(jc.get("directory"), c.directory);
                 c.wallMs = numberOr(jc.get("wall_ms"), 0);
                 const JsonValue *stats = jc.get("stats");
                 if (stats) {
@@ -149,7 +158,7 @@ ResultDoc
 resultsOf(const std::vector<FigureRun> &runs)
 {
     ResultDoc out;
-    out.schema = "rnuma-sweep-results/v4";
+    out.schema = "rnuma-sweep-results/v5";
     for (const FigureRun &run : runs) {
         ResultFigure f;
         f.name = run.name;
@@ -162,6 +171,10 @@ resultsOf(const std::vector<FigureRun> &runs)
             rc.app = c.app;
             rc.config = c.config;
             rc.protocol = c.protocol;
+            if (!c.network.empty())
+                rc.network = c.network;
+            if (!c.directory.empty())
+                rc.directory = c.directory;
             rc.ticks = c.stats.ticks;
             rc.events = c.stats.events;
             rc.hasEvents = true;
@@ -187,6 +200,11 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
     // protocol-id change against them is informational only.
     bool protocolComparable =
         baseline.version() >= 3 && current.version() >= 3;
+    // Pre-v5 documents carried no network/directory ids (their cells
+    // loaded with the "constant"/"full-map" defaults), so an id
+    // change against them is informational only.
+    bool networkComparable =
+        baseline.version() >= 5 && current.version() >= 5;
 
     for (const ResultFigure &bf : baseline.figures) {
         const ResultFigure *cf = current.find(bf.name);
@@ -238,6 +256,21 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
                 } else {
                     os << "note: " << msg
                        << " — pre-v3 baseline, label shim only\n";
+                }
+            }
+            if (bc.network != cc->network ||
+                bc.directory != cc->directory) {
+                std::string msg = bf.name + "/" + bc.app + "/" +
+                    bc.config + ": network/directory changed "
+                    "(baseline '" + bc.network + "'/'" +
+                    bc.directory + "', current '" + cc->network +
+                    "'/'" + cc->directory + "')";
+                if (networkComparable) {
+                    fail(msg);
+                    figure_drift++;
+                } else {
+                    os << "note: " << msg
+                       << " — pre-v5 baseline, defaults assumed\n";
                 }
             }
         }

@@ -40,6 +40,17 @@ struct ResultCell
      * the document carried none.
      */
     std::string protocol;
+    /**
+     * Canonical network-model id. Pre-v5 documents carried none;
+     * their cells default to "constant" (the only interconnect that
+     * existed), so v1-v4 baselines stay comparable.
+     */
+    std::string network = "constant";
+    /**
+     * Canonical directory-format id; pre-v5 cells default to
+     * "full-map" for the same reason.
+     */
+    std::string directory = "full-map";
     std::uint64_t ticks = 0;
     /** Scheduler events; hasEvents false for v1 baselines. */
     std::uint64_t events = 0;
@@ -81,7 +92,7 @@ struct ResultDoc
 
 /**
  * Extract the comparable slice from a parsed rnuma-sweep-results
- * document (v1 through v4). Throws std::runtime_error on documents
+ * document (v1 through v5). Throws std::runtime_error on documents
  * that are not sweep results at all.
  */
 ResultDoc loadResults(const std::string &json_text);

@@ -44,6 +44,14 @@ struct FigureOptions
      * (fig5-9, the tables) ignore it.
      */
     std::vector<std::string> protocols;
+    /**
+     * Registry network-model names for network-parametric figures
+     * (the "scaling" sweep; the CLI's repeatable --network flag).
+     * Empty means the figure's default selection ({"constant",
+     * "mesh-2d"} for "scaling"). Figures pinned to the paper's
+     * constant network ignore it.
+     */
+    std::vector<std::string> networks;
 };
 
 /** One figure/table: identity, lazy sweep builder, table renderer. */

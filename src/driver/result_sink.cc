@@ -21,8 +21,11 @@ namespace
 // baselines. v4 adds the per-figure "protocols" array: the distinct
 // spec ids the figure's cells ran, in first-appearance order — the
 // field CI validates to prove a registered protocol actually
-// reached the figure pipeline.
-constexpr const char *schemaName = "rnuma-sweep-results/v4";
+// reached the figure pipeline. v5 adds the per-cell "network" and
+// "directory" ids (the interconnect model and directory sharer-set
+// format the cell ran under) and the net_*/dir_* stat fields; the
+// gate defaults pre-v5 cells to "constant"/"full-map".
+constexpr const char *schemaName = "rnuma-sweep-results/v5";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -91,6 +94,35 @@ statFields()
         {"stall_cycles",
          [](const RunStats &s) { return s.stallCycles; }},
         {"remote_pages", &remotePages},
+        {"net_requests",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Request);
+         }},
+        {"net_replies",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Reply);
+         }},
+        {"net_invalidates",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Invalidate);
+         }},
+        {"net_forwards",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Forward);
+         }},
+        {"net_writebacks",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Writeback);
+         }},
+        {"net_flushes",
+         [](const RunStats &s) {
+             return s.net.count(MsgKind::Flush);
+         }},
+        {"net_messages",
+         [](const RunStats &s) { return s.net.totalMessages(); }},
+        {"dir_entries",
+         [](const RunStats &s) { return s.dirEntries; }},
+        {"dir_bits", [](const RunStats &s) { return s.dirBits; }},
     };
     return fields;
 }
@@ -145,6 +177,10 @@ JsonSink::write(std::ostream &os,
             w.value(c.protocol);
             w.key("protocol_name");
             w.value(c.protocolName);
+            w.key("network");
+            w.value(c.network);
+            w.key("directory");
+            w.value(c.directory);
             w.key("wall_ms");
             w.value(c.wallMs);
             w.key("events_per_sec");
@@ -170,7 +206,8 @@ void
 CsvSink::write(std::ostream &os,
                const std::vector<FigureRun> &runs) const
 {
-    os << "figure,scale,app,config,protocol,wall_ms,events_per_sec";
+    os << "figure,scale,app,config,protocol,network,directory,"
+          "wall_ms,events_per_sec";
     for (const StatField &f : statFields())
         os << "," << f.name;
     os << "\n";
@@ -178,6 +215,7 @@ CsvSink::write(std::ostream &os,
         for (const CellResult &c : run.result.cells) {
             os << run.name << "," << run.scale << "," << c.app << ","
                << c.config << "," << c.protocol << ","
+               << c.network << "," << c.directory << ","
                << c.wallMs << "," << c.eventsPerSec();
             for (const StatField &f : statFields())
                 os << "," << f.get(c.stats);

@@ -139,6 +139,8 @@ runCell(const Cell &cell, const SnapshotMap &snapshots,
     r.config = cell.config;
     r.protocol = cell.proto.id;
     r.protocolName = cell.proto.displayName;
+    r.network = cell.params.networkModel;
+    r.directory = cell.params.directoryId();
 
     auto t0 = std::chrono::steady_clock::now();
     std::unique_ptr<Workload> wl;

@@ -39,6 +39,8 @@ struct CellResult
     std::string config;
     std::string protocol;     ///< stable spec id ("ccnuma", ...)
     std::string protocolName; ///< display name ("CC-NUMA", ...)
+    std::string network;      ///< network model id ("constant", ...)
+    std::string directory;    ///< directory format id ("full-map", ...)
     RunStats stats;
     double wallMs = 0; ///< host wall-clock time for this cell
 

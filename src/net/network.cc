@@ -5,8 +5,7 @@
 namespace rnuma
 {
 
-Network::Network(std::size_t nodes, Tick latency, Tick ni_occupancy)
-    : netLatency(latency)
+NetworkModel::NetworkModel(std::size_t nodes, Tick ni_occupancy)
 {
     RNUMA_ASSERT(nodes >= 1, "network needs at least one node");
     nis.reserve(nodes);
@@ -15,16 +14,78 @@ Network::Network(std::size_t nodes, Tick latency, Tick ni_occupancy)
 }
 
 Resource &
-Network::ni(NodeId n)
+NetworkModel::ni(NodeId n)
 {
     RNUMA_ASSERT(n < nis.size(), "bad node id ", n);
     return nis[n];
 }
 
+void
+NetworkModel::countMsg(MsgKind kind)
+{
+    counts[static_cast<std::size_t>(kind)]++;
+}
+
+std::uint64_t
+NetworkModel::count(MsgKind kind) const
+{
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+NetworkModel::totalMessages() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    return total;
+}
+
+NetworkStats
+NetworkModel::stats() const
+{
+    NetworkStats s;
+    for (std::size_t k = 0; k < numMsgKinds; ++k)
+        s.messages[k] = counts[k];
+    return s;
+}
+
+Tick
+NetworkModel::meanLatency() const
+{
+    const std::size_t n = nodes();
+    if (n < 2)
+        return 0;
+    // Rounded average of the contention-free latency over all
+    // ordered pairs of distinct nodes.
+    std::uint64_t sum = 0;
+    for (NodeId a = 0; a < n; ++a)
+        for (NodeId b = 0; b < n; ++b)
+            if (a != b)
+                sum += latency(a, b);
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(n) * (n - 1);
+    return (sum + pairs / 2) / pairs;
+}
+
+Tick
+NetworkModel::waited() const
+{
+    Tick total = 0;
+    for (const auto &r : nis)
+        total += r.waited();
+    return total;
+}
+
+Network::Network(std::size_t nodes, Tick latency, Tick ni_occupancy)
+    : NetworkModel(nodes, ni_occupancy), netLatency(latency)
+{
+}
+
 Tick
 Network::send(Tick now, NodeId from, NodeId to, MsgKind kind)
 {
-    counts[static_cast<std::size_t>(kind)]++;
+    countMsg(kind);
     if (from == to)
         return now;
     // Source NI occupancy plus the constant wire latency. The
@@ -38,35 +99,21 @@ Network::send(Tick now, NodeId from, NodeId to, MsgKind kind)
 void
 Network::post(Tick now, NodeId from, NodeId to, MsgKind kind)
 {
-    counts[static_cast<std::size_t>(kind)]++;
+    countMsg(kind);
     if (from == to)
         return;
     ni(from).acquire(now);
     ni(to).acquire(now + netLatency);
 }
 
-std::uint64_t
-Network::count(MsgKind kind) const
-{
-    return counts[static_cast<std::size_t>(kind)];
-}
-
-std::uint64_t
-Network::totalMessages() const
-{
-    std::uint64_t total = 0;
-    for (std::uint64_t c : counts)
-        total += c;
-    return total;
-}
-
 Tick
-Network::waited() const
+Network::latency(NodeId, NodeId) const
 {
-    Tick total = 0;
-    for (const auto &r : nis)
-        total += r.waited();
-    return total;
+    // Deliberately constant for every pair, including from == to:
+    // the protocol's invalidation-acknowledgement bound historically
+    // charged 2 * netLatency regardless of target, and the constant
+    // model must reproduce that arithmetic exactly.
+    return netLatency;
 }
 
 } // namespace rnuma

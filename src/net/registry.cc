@@ -1,0 +1,167 @@
+#include "net/registry.hh"
+
+#include <cctype>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "net/topology.hh"
+
+namespace rnuma
+{
+
+std::string
+canonicalNetworkId(const std::string &name)
+{
+    std::string s;
+    s.reserve(name.size());
+    for (char c : name)
+        s.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    // Display-name spellings map onto the stable ids.
+    if (s == "2d mesh" || s == "mesh")
+        return "mesh-2d";
+    if (s == "fat tree" || s == "fattree")
+        return "fat-tree";
+    return s;
+}
+
+NetworkRegistry::NetworkRegistry()
+{
+    NetworkSpec constant;
+    constant.id = "constant";
+    constant.displayName = "Constant";
+    constant.description =
+        "the paper's fixed point-to-point latency (netLatency); "
+        "contention at the NIs only";
+    constant.make = [](const Params &p) {
+        return std::unique_ptr<NetworkModel>(std::make_unique<Network>(
+            p.numNodes, p.netLatency, p.niOccupancy));
+    };
+    add(std::move(constant));
+
+    NetworkSpec mesh;
+    mesh.id = "mesh-2d";
+    mesh.displayName = "2D mesh";
+    mesh.description =
+        "dimension-ordered W x H mesh; hopLatency per hop, per-link "
+        "contention (linkOccupancy)";
+    mesh.make = [](const Params &p) {
+        return std::unique_ptr<NetworkModel>(
+            std::make_unique<MeshNetwork>(p.numNodes, p.hopLatency,
+                                          p.linkOccupancy,
+                                          p.niOccupancy));
+    };
+    add(std::move(mesh));
+
+    NetworkSpec fat;
+    fat.id = "fat-tree";
+    fat.displayName = "Fat tree";
+    fat.description =
+        "radix-2 fat tree; 2*(log-distance+1) hops of hopLatency, "
+        "contention-free internal links";
+    fat.make = [](const Params &p) {
+        return std::unique_ptr<NetworkModel>(
+            std::make_unique<FatTreeNetwork>(p.numNodes, p.hopLatency,
+                                             p.niOccupancy));
+    };
+    add(std::move(fat));
+}
+
+NetworkRegistry &
+NetworkRegistry::global()
+{
+    static NetworkRegistry reg;
+    return reg;
+}
+
+const NetworkSpec &
+NetworkRegistry::add(NetworkSpec spec)
+{
+    RNUMA_ASSERT(spec.valid(),
+                 "network spec needs an id and a factory");
+    RNUMA_ASSERT(spec.id == canonicalNetworkId(spec.id),
+                 "network id '", spec.id,
+                 "' is not canonical (lowercase, stable spelling)");
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (findLocked(spec.id)) {
+        RNUMA_FATAL("network '", spec.id,
+                    "' is already registered");
+    }
+    specs_.push_back(std::make_unique<NetworkSpec>(std::move(spec)));
+    return *specs_.back();
+}
+
+const NetworkSpec *
+NetworkRegistry::findLocked(const std::string &name) const
+{
+    std::string id = canonicalNetworkId(name);
+    for (const auto &s : specs_) {
+        if (s->id == id || canonicalNetworkId(s->displayName) == id)
+            return s.get();
+    }
+    return nullptr;
+}
+
+const NetworkSpec *
+NetworkRegistry::find(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return findLocked(name);
+}
+
+const NetworkSpec &
+NetworkRegistry::at(const std::string &name) const
+{
+    const NetworkSpec *s = find(name);
+    if (!s) {
+        RNUMA_FATAL("unknown network model '", name,
+                    "' (see rnuma_sweep --list-networks)");
+    }
+    return *s;
+}
+
+std::vector<const NetworkSpec *>
+NetworkRegistry::all() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<const NetworkSpec *> out;
+    out.reserve(specs_.size());
+    for (const auto &s : specs_)
+        out.push_back(s.get());
+    return out;
+}
+
+std::size_t
+NetworkRegistry::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return specs_.size();
+}
+
+const NetworkSpec &
+networkSpec(const std::string &name)
+{
+    return NetworkRegistry::global().at(name);
+}
+
+const NetworkSpec *
+findNetworkSpec(const std::string &name)
+{
+    return NetworkRegistry::global().find(name);
+}
+
+std::unique_ptr<NetworkModel>
+makeNetwork(const Params &params)
+{
+    return networkSpec(params.networkModel).make(params);
+}
+
+Tick
+remoteFetchLatency(const Params &params)
+{
+    // The constant model's mean is exactly netLatency, so this
+    // reproduces Table 2's 376 cycles on the default configuration.
+    return params.remoteFetch(makeNetwork(params)->meanLatency());
+}
+
+} // namespace rnuma

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The network registry: string-keyed, composable interconnect models
+ * mirroring the protocol registry (proto/registry.hh). A NetworkSpec
+ * captures a stable id (the JSON/compare/CLI currency), a display
+ * name, and a factory from Params to a NetworkModel; the three
+ * built-ins are "constant" (the paper's fixed-latency network, the
+ * default), "mesh-2d", and "fat-tree". New topologies are one
+ * registration away and immediately selectable from the rnuma_sweep
+ * CLI (--network, --list-networks) and sweepable by the scaling
+ * figure.
+ */
+
+#ifndef RNUMA_NET_REGISTRY_HH
+#define RNUMA_NET_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/params.hh"
+#include "net/network.hh"
+
+namespace rnuma
+{
+
+/** Builds the machine-wide interconnect for a run. */
+using NetworkFactory =
+    std::function<std::unique_ptr<NetworkModel>(const Params &)>;
+
+/** One selectable interconnect model. Value-semantic, like
+ * ProtocolSpec: cells copy the id they run under. */
+struct NetworkSpec
+{
+    /**
+     * Stable machine-readable id: the JSON artifact / compare-gate /
+     * CLI currency ("constant", "mesh-2d", "fat-tree"). Lowercase,
+     * no spaces.
+     */
+    std::string id;
+    /** Human-readable name for tables and logs ("2D mesh"). */
+    std::string displayName;
+    /** One-line description for --list-networks. */
+    std::string description;
+    /** Required: builds the network model. */
+    NetworkFactory make;
+
+    bool valid() const { return !id.empty() && make != nullptr; }
+};
+
+/**
+ * The process-wide name -> NetworkSpec table. Lookup is
+ * case-insensitive on id and display name. Thread-safe exactly like
+ * ProtocolRegistry: registration takes an exclusive lock and lookups
+ * a shared one; returned spec pointers stay valid forever.
+ */
+class NetworkRegistry
+{
+  public:
+    /** The global registry, with the built-ins pre-registered. */
+    static NetworkRegistry &global();
+
+    /**
+     * Register a spec. Fatal on an invalid spec or a duplicate id.
+     * @return the registered (stably stored) spec.
+     */
+    const NetworkSpec &add(NetworkSpec spec);
+
+    /** Look up by id/display name; nullptr when unknown. */
+    const NetworkSpec *find(const std::string &name) const;
+
+    /** Look up; fatal (std::runtime_error under tests) when unknown. */
+    const NetworkSpec &at(const std::string &name) const;
+
+    /** All specs, in registration order (built-ins first). */
+    std::vector<const NetworkSpec *> all() const;
+
+    std::size_t size() const;
+
+  private:
+    NetworkRegistry();
+
+    /** find() without taking the lock (callers hold it). */
+    const NetworkSpec *findLocked(const std::string &name) const;
+
+    /** Guards specs_: exclusive for add, shared for lookups. */
+    mutable std::shared_mutex mutex_;
+    std::vector<std::unique_ptr<NetworkSpec>> specs_;
+};
+
+/**
+ * Normalize a network label to its stable id: lowercased, with the
+ * display-name spellings mapped back. Unknown labels pass through
+ * lowercased — the shim the compare gate uses against pre-v5
+ * baselines (whose cells default to "constant").
+ */
+std::string canonicalNetworkId(const std::string &name);
+
+/** Shorthand for NetworkRegistry::global().at(name). */
+const NetworkSpec &networkSpec(const std::string &name);
+
+/** Shorthand for NetworkRegistry::global().find(name). */
+const NetworkSpec *findNetworkSpec(const std::string &name);
+
+/**
+ * Build the interconnect Params selects (Params::networkModel).
+ * Fatal on an unknown id — the single construction point replacing
+ * the hand-rolled Network(p.numNodes, p.netLatency, p.niOccupancy)
+ * calls that used to be scattered across machine.cc, figures.cc, and
+ * the tests.
+ */
+std::unique_ptr<NetworkModel> makeNetwork(const Params &params);
+
+/**
+ * The model-derived uncontended remote fetch latency:
+ * Params::remoteFetch(wire) with the wire term taken from the
+ * selected model's mean pairwise latency. Equals Params::
+ * remoteFetch() (Table 2's 376 cycles) for the constant model; the
+ * figure AnalyticModel must use so Eq 1-3 stay consistent with any
+ * interconnect.
+ */
+Tick remoteFetchLatency(const Params &params);
+
+} // namespace rnuma
+
+#endif // RNUMA_NET_REGISTRY_HH

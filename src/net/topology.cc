@@ -1,0 +1,168 @@
+#include "net/topology.hh"
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+
+namespace rnuma
+{
+
+MeshNetwork::MeshNetwork(std::size_t nodes, Tick hop_latency,
+                         Tick link_occupancy, Tick ni_occupancy)
+    : NetworkModel(nodes, ni_occupancy), hopLatency_(hop_latency)
+{
+    const bool ok = meshDims(nodes, &width_, &height_);
+    RNUMA_ASSERT(ok, "mesh-2d cannot embed ", nodes, " nodes");
+    RNUMA_ASSERT(hop_latency >= 1, "mesh hop latency must be >= 1");
+    // Four directed links per node (east, west, north, south); edge
+    // nodes simply never acquire their missing directions.
+    links_.reserve(nodes * 4);
+    for (std::size_t i = 0; i < nodes * 4; ++i)
+        links_.emplace_back(link_occupancy);
+}
+
+std::size_t
+MeshNetwork::hops(NodeId from, NodeId to) const
+{
+    const std::size_t fx = from % width_, fy = from / width_;
+    const std::size_t tx = to % width_, ty = to / width_;
+    const std::size_t dx = fx > tx ? fx - tx : tx - fx;
+    const std::size_t dy = fy > ty ? fy - ty : ty - fy;
+    return dx + dy;
+}
+
+Resource &
+MeshNetwork::link(NodeId from, NodeId to)
+{
+    // Direction index: 0 east (+x), 1 west (-x), 2 south (+y),
+    // 3 north (-y).
+    std::size_t dir;
+    if (to == from + 1)
+        dir = 0;
+    else if (to + 1 == from)
+        dir = 1;
+    else if (to == from + width_)
+        dir = 2;
+    else
+        dir = 3;
+    return links_[static_cast<std::size_t>(from) * 4 + dir];
+}
+
+Tick
+MeshNetwork::route(Tick depart, NodeId from, NodeId to)
+{
+    Tick t = depart;
+    NodeId at = from;
+    const std::size_t tx = to % width_;
+    // Dimension-ordered: walk X to the destination column, then Y to
+    // the destination row. Each directed link serializes crossing
+    // traffic; each hop adds the wire latency.
+    while (at % width_ != tx) {
+        const NodeId next = at % width_ < tx ? at + 1 : at - 1;
+        t = link(at, next).acquire(t) + hopLatency_;
+        at = next;
+    }
+    while (at != to) {
+        const NodeId next =
+            at < to ? at + static_cast<NodeId>(width_)
+                    : at - static_cast<NodeId>(width_);
+        t = link(at, next).acquire(t) + hopLatency_;
+        at = next;
+    }
+    return t;
+}
+
+Tick
+MeshNetwork::send(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    countMsg(kind);
+    if (from == to)
+        return now;
+    const Tick departed =
+        ni(from).acquire(now) + ni(from).occupancyPerUse();
+    return route(departed, from, to);
+}
+
+void
+MeshNetwork::post(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    countMsg(kind);
+    if (from == to)
+        return;
+    // Asynchronous messages are off the critical path: charge the NI
+    // occupancy at both ends (as the constant model does) using the
+    // contention-free transit time, without walking the links — the
+    // sender is not stalled, so link serialization is charged only
+    // to synchronous traffic.
+    ni(from).acquire(now);
+    ni(to).acquire(now + latency(from, to));
+}
+
+Tick
+MeshNetwork::latency(NodeId from, NodeId to) const
+{
+    return static_cast<Tick>(hops(from, to)) * hopLatency_;
+}
+
+Tick
+MeshNetwork::waited() const
+{
+    Tick total = NetworkModel::waited();
+    for (const auto &l : links_)
+        total += l.waited();
+    return total;
+}
+
+FatTreeNetwork::FatTreeNetwork(std::size_t nodes, Tick hop_latency,
+                               Tick ni_occupancy)
+    : NetworkModel(nodes, ni_occupancy), hopLatency_(hop_latency)
+{
+    RNUMA_ASSERT(isPow2(nodes),
+                 "fat-tree needs a power-of-two node count, got ",
+                 nodes);
+    RNUMA_ASSERT(hop_latency >= 1,
+                 "fat-tree hop latency must be >= 1");
+}
+
+std::size_t
+FatTreeNetwork::hops(NodeId from, NodeId to) const
+{
+    if (from == to)
+        return 0;
+    // Height of the smallest subtree containing both leaves is
+    // floor(log2(from ^ to)) + 1; the route goes that far up and the
+    // same distance down.
+    std::uint32_t diff = from ^ to;
+    std::size_t height = 0;
+    while (diff >>= 1)
+        height++;
+    return 2 * (height + 1);
+}
+
+Tick
+FatTreeNetwork::send(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    countMsg(kind);
+    if (from == to)
+        return now;
+    const Tick departed =
+        ni(from).acquire(now) + ni(from).occupancyPerUse();
+    return departed + latency(from, to);
+}
+
+void
+FatTreeNetwork::post(Tick now, NodeId from, NodeId to, MsgKind kind)
+{
+    countMsg(kind);
+    if (from == to)
+        return;
+    ni(from).acquire(now);
+    ni(to).acquire(now + latency(from, to));
+}
+
+Tick
+FatTreeNetwork::latency(NodeId from, NodeId to) const
+{
+    return static_cast<Tick>(hops(from, to)) * hopLatency_;
+}
+
+} // namespace rnuma

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hop-dependent interconnect topologies behind the NetworkModel
+ * interface: a 2D mesh with dimension-ordered routing and per-hop
+ * link contention (the DASH-style scaling interconnect), and a
+ * fat-tree whose hop count grows with the log of the node distance
+ * and whose internal links are fat enough to be contention-free.
+ *
+ * Both models keep the constant model's NI discipline — the source
+ * NI serializes outgoing messages, the destination controller models
+ * receive-side processing — and differ only in the wire term.
+ */
+
+#ifndef RNUMA_NET_TOPOLOGY_HH
+#define RNUMA_NET_TOPOLOGY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hh"
+
+namespace rnuma
+{
+
+/**
+ * W x H 2D mesh, registered as "mesh-2d". Node n sits at
+ * (n % W, n / W); messages route dimension-ordered (X first, then
+ * Y). Each directed link is a Resource with Params::linkOccupancy
+ * per message, so a hot link serializes crossing traffic; each hop
+ * adds Params::hopLatency of wire time.
+ *
+ * Requires a rectangular factorization (meshDims); Params::validate()
+ * rejects node counts that do not embed.
+ */
+class MeshNetwork : public NetworkModel
+{
+  public:
+    MeshNetwork(std::size_t nodes, Tick hop_latency,
+                Tick link_occupancy, Tick ni_occupancy);
+
+    Tick send(Tick now, NodeId from, NodeId to,
+              MsgKind kind) override;
+    void post(Tick now, NodeId from, NodeId to,
+              MsgKind kind) override;
+    Tick latency(NodeId from, NodeId to) const override;
+    Tick waited() const override;
+
+    /** Manhattan hop count between two nodes. */
+    std::size_t hops(NodeId from, NodeId to) const;
+
+    std::size_t width() const { return width_; }
+    std::size_t height() const { return height_; }
+
+  private:
+    /** Directed link leaving @p from toward adjacent @p to. */
+    Resource &link(NodeId from, NodeId to);
+
+    /**
+     * Walk the dimension-ordered route, acquiring each directed link
+     * and adding hopLatency per hop; returns the arrival time.
+     */
+    Tick route(Tick depart, NodeId from, NodeId to);
+
+    std::size_t width_;
+    std::size_t height_;
+    Tick hopLatency_;
+    /** links_[n * 4 + d]: node n's outgoing link in direction d. */
+    std::vector<Resource> links_;
+};
+
+/**
+ * Fat-tree over a power-of-two node count, registered as "fat-tree".
+ * Two leaves under the same radix-2 subtree of height k are 2*k hops
+ * apart (k up, k down): hops(a, b) = 2 * (floor(log2(a ^ b)) + 1).
+ * Fat trees double link capacity toward the root, so internal links
+ * are modeled contention-free and only the NIs serialize (the
+ * classic reason to build one).
+ */
+class FatTreeNetwork : public NetworkModel
+{
+  public:
+    FatTreeNetwork(std::size_t nodes, Tick hop_latency,
+                   Tick ni_occupancy);
+
+    Tick send(Tick now, NodeId from, NodeId to,
+              MsgKind kind) override;
+    void post(Tick now, NodeId from, NodeId to,
+              MsgKind kind) override;
+    Tick latency(NodeId from, NodeId to) const override;
+
+    /** Up-then-down hop count between two leaves. */
+    std::size_t hops(NodeId from, NodeId to) const;
+
+  private:
+    Tick hopLatency_;
+};
+
+} // namespace rnuma
+
+#endif // RNUMA_NET_TOPOLOGY_HH

@@ -1,28 +1,275 @@
 /**
  * @file
  * Directory state for the DSM coherence protocol. Every cache block
- * has a full-map entry at its home node tracking sharers, the
- * exclusive owner, and the extra "prior owner" state the paper adds
- * so the directory can detect refetches of read-write blocks that
- * were voluntarily written back (Section 3.1).
+ * has an entry at its home node tracking sharers, the exclusive
+ * owner, and the extra "prior owner" state the paper adds so the
+ * directory can detect refetches of read-write blocks that were
+ * voluntarily written back (Section 3.1).
+ *
+ * The sharer-tracking representation is pluggable (SharerSet,
+ * selected by Params::dirFormat): the paper's exact full-map bit
+ * vector, a limited-pointer Dir_iB that keeps up to i exact node ids
+ * and degrades to broadcast on overflow, or a coarse vector with one
+ * bit per r-node region — the standard post-ISCA-97 scaling fixes
+ * that make directory memory O(sharers) instead of O(nodes). Both
+ * sparse formats over-approximate (they may name non-sharers but
+ * never miss a true sharer), so correctness is preserved and the
+ * cost of sparseness shows up where it does in hardware: extra
+ * invalidation traffic.
  */
 
 #ifndef RNUMA_PROTO_DIRECTORY_HH
 #define RNUMA_PROTO_DIRECTORY_HH
 
+#include <algorithm>
 #include <bitset>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/params.hh"
 #include "common/types.hh"
 
 namespace rnuma
 {
 
-/** Full-map directory entry for one coherence block. */
+/** Directory sizing/format configuration, derived from Params. */
+struct DirConfig
+{
+    SharerFormat format = SharerFormat::FullMap;
+    /** Nodes the machine actually has (bounds broadcast costs). */
+    std::size_t nodes = maxNodes;
+    /** Exact pointers per entry (LimitedPointer). */
+    std::size_t pointers = 4;
+    /** Nodes per region bit (CoarseVector). */
+    std::size_t regionSize = 8;
+
+    static DirConfig
+    fromParams(const Params &p)
+    {
+        DirConfig c;
+        c.format = p.dirFormat;
+        c.nodes = p.numNodes;
+        c.pointers = p.dirPointers;
+        c.regionSize = p.dirRegionSize;
+        return c;
+    }
+
+    /** ceil(log2(n)), with ceilLog2(0/1) == 0. */
+    static std::size_t
+    ceilLog2(std::size_t n)
+    {
+        std::size_t bits = 0;
+        while ((std::size_t{1} << bits) < n)
+            ++bits;
+        return bits;
+    }
+
+    /**
+     * Modeled hardware bits per directory entry: the two sharer sets
+     * (sharers + prior) in the configured format plus the owner
+     * field. Full-map costs 2 bits per node; limited-pointer costs
+     * i exact pointers plus an overflow bit per set; coarse-vector
+     * one bit per region. (The `touched` set is simulator
+     * classification state, not modeled hardware, and is excluded.)
+     */
+    std::size_t
+    entryBits() const
+    {
+        const std::size_t owner_bits = ceilLog2(nodes) + 1;
+        switch (format) {
+          case SharerFormat::FullMap:
+            return 2 * nodes + owner_bits;
+          case SharerFormat::LimitedPointer:
+            return 2 * (pointers * ceilLog2(nodes) + 1) + owner_bits;
+          case SharerFormat::CoarseVector:
+            return 2 * ((nodes + regionSize - 1) / regionSize) +
+                owner_bits;
+        }
+        return 0;
+    }
+};
+
+/**
+ * One pluggable-representation set of node ids. Full-map is exact;
+ * limited-pointer and coarse-vector are conservative
+ * over-approximations: test() may report a node that was never
+ * set(), but a node that was set() and not individually reset() is
+ * always reported. Degradation rules:
+ *
+ *  - LimitedPointer: up to `pointers` exact ids; one more set()
+ *    flips the entry to broadcast (test() true for every node,
+ *    count() == nodes). reset(n) of one node cannot un-broadcast;
+ *    only a full reset() (protocol-wide invalidation/flush) clears
+ *    the overflow.
+ *  - CoarseVector: one bit per region of `regionSize` nodes;
+ *    reset(n) is a no-op because other sharers may map to the same
+ *    region bit.
+ *
+ * Default construction is an exact full-map over maxNodes, which is
+ * what `DirEntry e;` in the unit tests and the pre-sparse protocol
+ * relied on.
+ */
+class SharerSet
+{
+  public:
+    SharerSet() = default;
+
+    explicit SharerSet(const DirConfig &cfg)
+        : format_(cfg.format),
+          nodes_(static_cast<std::uint32_t>(cfg.nodes)),
+          maxPtrs_(static_cast<std::uint32_t>(cfg.pointers)),
+          regionSize_(static_cast<std::uint32_t>(cfg.regionSize))
+    {
+    }
+
+    void
+    set(NodeId n)
+    {
+        switch (format_) {
+          case SharerFormat::FullMap:
+            bits_.set(n);
+            return;
+          case SharerFormat::LimitedPointer:
+            if (overflowed_ || havePtr(n))
+                return;
+            if (ptrs_.size() < maxPtrs_) {
+                ptrs_.push_back(static_cast<std::uint16_t>(n));
+            } else {
+                // Dir_iB: the i+1'th distinct sharer flips the
+                // entry to broadcast.
+                ptrs_.clear();
+                overflowed_ = true;
+            }
+            return;
+          case SharerFormat::CoarseVector:
+            bits_.set(n / regionSize_);
+            return;
+        }
+    }
+
+    /** Remove one node, where the representation can express that. */
+    void
+    reset(NodeId n)
+    {
+        switch (format_) {
+          case SharerFormat::FullMap:
+            bits_.reset(n);
+            return;
+          case SharerFormat::LimitedPointer:
+            if (!overflowed_)
+                dropPtr(n);
+            return;
+          case SharerFormat::CoarseVector:
+            // Cannot clear a region bit: other sharers may map to it.
+            return;
+        }
+    }
+
+    /** Clear the whole set (always exact, in every format). */
+    void
+    reset()
+    {
+        bits_.reset();
+        ptrs_.clear();
+        overflowed_ = false;
+    }
+
+    bool
+    test(NodeId n) const
+    {
+        switch (format_) {
+          case SharerFormat::FullMap:
+            return bits_.test(n);
+          case SharerFormat::LimitedPointer:
+            return overflowed_ || havePtr(n);
+          case SharerFormat::CoarseVector:
+            return bits_.test(n / regionSize_);
+        }
+        return false;
+    }
+
+    bool
+    none() const
+    {
+        switch (format_) {
+          case SharerFormat::FullMap:
+          case SharerFormat::CoarseVector:
+            return bits_.none();
+          case SharerFormat::LimitedPointer:
+            return !overflowed_ && ptrs_.empty();
+        }
+        return true;
+    }
+
+    /**
+     * Apparent sharer count (over-approximate for the sparse
+     * formats: nodes for a broadcast entry, region population times
+     * region size for coarse bits, clamped to the machine size).
+     */
+    std::size_t
+    count() const
+    {
+        switch (format_) {
+          case SharerFormat::FullMap:
+            return bits_.count();
+          case SharerFormat::LimitedPointer:
+            return overflowed_ ? nodes_ : ptrs_.size();
+          case SharerFormat::CoarseVector:
+            return std::min<std::size_t>(bits_.count() * regionSize_,
+                                         nodes_);
+        }
+        return 0;
+    }
+
+    /** A limited-pointer entry that has degraded to broadcast. */
+    bool overflowed() const { return overflowed_; }
+
+    SharerFormat format() const { return format_; }
+
+  private:
+    bool
+    havePtr(NodeId n) const
+    {
+        for (std::uint16_t p : ptrs_)
+            if (p == n)
+                return true;
+        return false;
+    }
+
+    void
+    dropPtr(NodeId n)
+    {
+        for (std::size_t i = 0; i < ptrs_.size(); ++i) {
+            if (ptrs_[i] == n) {
+                ptrs_[i] = ptrs_.back();
+                ptrs_.pop_back();
+                return;
+            }
+        }
+    }
+
+    SharerFormat format_ = SharerFormat::FullMap;
+    std::uint32_t nodes_ = maxNodes;
+    std::uint32_t maxPtrs_ = 0;
+    std::uint32_t regionSize_ = 1;
+    bool overflowed_ = false;
+    /** Full-map node bits, or coarse region bits (low indices). */
+    std::bitset<maxNodes> bits_;
+    /** Exact node ids (LimitedPointer, when not overflowed). */
+    std::vector<std::uint16_t> ptrs_;
+};
+
+/** Directory entry for one coherence block. */
 struct DirEntry
 {
+    DirEntry() = default;
+
+    explicit DirEntry(const DirConfig &cfg)
+        : sharers(cfg), prior(cfg)
+    {
+    }
+
     /**
      * Nodes the directory believes hold a copy. Read-only copies are
      * evicted silently (non-notifying protocol), so a bit may be
@@ -30,16 +277,20 @@ struct DirEntry
      * request from a node whose bit is still set means the node lost
      * its copy to capacity or conflict, not coherence.
      */
-    std::bitset<maxNodes> sharers;
+    SharerSet sharers;
 
     /**
      * Nodes that previously held the block exclusively and
      * voluntarily wrote it back (block-cache eviction). A request
      * from such a node is a refetch of a read-write block.
      */
-    std::bitset<maxNodes> prior;
+    SharerSet prior;
 
-    /** Nodes that have ever fetched the block (cold-miss detection). */
+    /**
+     * Nodes that have ever fetched the block (cold-miss detection).
+     * Simulator classification state, always exact — not part of the
+     * modeled hardware entry (DirConfig::entryBits()).
+     */
     std::bitset<maxNodes> touched;
 
     /** Node holding the block exclusively (dirty), if any. */
@@ -47,7 +298,7 @@ struct DirEntry
 
     bool hasOwner() const { return owner != invalidNode; }
 
-    /** Number of valid sharer bits. */
+    /** Number of (apparent) sharers. */
     std::size_t sharerCount() const { return sharers.count(); }
 };
 
@@ -81,9 +332,13 @@ class Directory
      *        power of two. The defaults degenerate to one entry per
      *        group (a plain per-block map), which is what the
      *        geometry-free unit tests construct.
+     * @param cfg             sharer-set format; defaults to the
+     *        exact full-map the paper models.
      */
     explicit Directory(std::size_t block_bytes = 1,
-                       std::size_t blocks_per_page = 1)
+                       std::size_t blocks_per_page = 1,
+                       DirConfig cfg = {})
+        : cfg_(cfg), proto_(cfg)
     {
         while ((std::size_t{1} << (blockShift_ + 1)) <= block_bytes)
             ++blockShift_;
@@ -128,6 +383,21 @@ class Directory
     /** Number of blocks with directory state. */
     std::size_t size() const { return liveCount_; }
 
+    const DirConfig &config() const { return cfg_; }
+
+    /**
+     * Modeled directory storage: live entries times the per-entry
+     * hardware cost of the configured format — the number the
+     * scaling figure reports to show sparse formats are O(sharers),
+     * not O(nodes).
+     */
+    std::uint64_t
+    modeledStorageBits() const
+    {
+        return static_cast<std::uint64_t>(liveCount_) *
+            static_cast<std::uint64_t>(cfg_.entryBits());
+    }
+
   private:
     /**
      * One page's entries. The vectors are sized once at creation and
@@ -148,7 +418,7 @@ class Directory
         if (create) {
             Group &ref = groups_[key];
             if (ref.entries.empty()) {
-                ref.entries.resize(groupBlocks_);
+                ref.entries.assign(groupBlocks_, proto_);
                 ref.live.assign(groupBlocks_, 0);
             }
             g = &ref;
@@ -163,6 +433,9 @@ class Directory
         return g;
     }
 
+    DirConfig cfg_;
+    /** Prototype entry carrying the configured sharer-set format. */
+    DirEntry proto_;
     unsigned blockShift_ = 0;
     std::size_t groupBlocks_ = 1;
     unsigned groupShift_ = 0;

@@ -5,13 +5,15 @@
 namespace rnuma
 {
 
-GlobalProtocol::GlobalProtocol(const Params &params, Network &net_,
+GlobalProtocol::GlobalProtocol(const Params &params,
+                               NetworkModel &net_,
                                const Placement &placement,
                                CoherenceSink &sink_,
                                std::vector<Memory *> memories)
     : p(params), net(net_), place(placement), sink(sink_),
       mems(std::move(memories)),
-      dir(params.blockSize, params.blocksPerPage())
+      dir(params.blockSize, params.blocksPerPage(),
+          DirConfig::fromParams(params))
 {
     RNUMA_ASSERT(mems.size() == p.numNodes,
                  "need one memory per node, got ", mems.size());
@@ -123,6 +125,11 @@ GlobalProtocol::fetch(Tick now, NodeId requester, Addr block,
     // requester waits for data and all acknowledgments.
     Tick ack_at = t;
     if (write) {
+        // Sparse sharer sets may over-approximate (broadcast or
+        // region bits), so this loop can invalidate nodes that never
+        // held the block — the modeled cost of a sparse directory.
+        // Every true sharer is always covered.
+        Tick worst_wire = 0;
         for (NodeId m = 0; m < p.numNodes; ++m) {
             bool holds = e.sharers.test(m) || e.owner == m;
             if (!holds || m == requester)
@@ -132,9 +139,17 @@ GlobalProtocol::fetch(Tick now, NodeId requester, Addr block,
             e.sharers.reset(m);
             e.prior.reset(m);
             res.invalidations++;
+            const Tick wire = net.latency(home, m);
+            if (wire > worst_wire)
+                worst_wire = wire;
         }
-        if (res.invalidations > 0)
-            ack_at = t + 2 * p.netLatency + p.niOccupancy;
+        if (res.invalidations > 0) {
+            // Invalidations fan out in parallel; the requester waits
+            // for the farthest round trip (out + ack). The constant
+            // model's latency() is netLatency for every pair, which
+            // reproduces the historical 2 * netLatency bound exactly.
+            ack_at = t + 2 * worst_wire + p.niOccupancy;
+        }
     }
 
     // Directory state update for the requester.

@@ -97,7 +97,7 @@ class GlobalProtocol
      * @param memories one Memory per node (home data accesses contend
      *                 with that node's local traffic)
      */
-    GlobalProtocol(const Params &params, Network &net,
+    GlobalProtocol(const Params &params, NetworkModel &net,
                    const Placement &placement, CoherenceSink &sink,
                    std::vector<Memory *> memories);
 
@@ -155,7 +155,7 @@ class GlobalProtocol
 
   private:
     const Params &p;
-    Network &net;
+    NetworkModel &net;
     const Placement &place;
     CoherenceSink &sink;
     std::vector<Memory *> mems;

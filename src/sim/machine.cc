@@ -15,9 +15,13 @@ namespace
  * contention exceed it by design and overflow into the far heap.
  */
 std::size_t
-calendarSpanFor(const Params &p, const Workload &wl)
+calendarSpanFor(const Params &p, const Workload &wl, Tick mean_wire)
 {
-    return EventQueue::autoWindow(wl.maxThink() + p.remoteFetch() +
+    // The wire term comes from the network model's mean pairwise
+    // latency, so topology machines size the calendar for their
+    // actual service chains (equals netLatency for "constant").
+    return EventQueue::autoWindow(wl.maxThink() +
+                                  p.remoteFetch(mean_wire) +
                                   p.barrierCost);
 }
 
@@ -26,9 +30,8 @@ calendarSpanFor(const Params &p, const Workload &wl)
 Machine::Machine(const Params &params, const ProtocolSpec &spec,
                  Workload &wl_)
     : p(params), protocolId_(spec.id), wl(wl_),
-      cpuMap{params.cpusPerNode},
-      net_(params.numNodes, params.netLatency, params.niOccupancy),
-      eq_(calendarSpanFor(params, wl_))
+      cpuMap{params.cpusPerNode}, net_(makeNetwork(params)),
+      eq_(calendarSpanFor(params, wl_, net_->meanLatency()))
 {
     p.validate();
     RNUMA_ASSERT(spec.valid(), "protocol spec '", spec.id,
@@ -45,8 +48,8 @@ Machine::Machine(const Params &params, const ProtocolSpec &spec,
         mem_ptrs.push_back(mems_.back().get());
     }
 
-    proto_ = std::make_unique<GlobalProtocol>(p, net_, place_, *this,
-                                              mem_ptrs);
+    proto_ = std::make_unique<GlobalProtocol>(p, *net_, place_,
+                                              *this, mem_ptrs);
 
     nodes_.reserve(p.numNodes);
     for (NodeId n = 0; n < p.numNodes; ++n) {
@@ -202,7 +205,10 @@ Machine::run()
 
     for (auto &n : nodes_)
         stats_.busWait += n->bus().waited();
-    stats_.niWait = net_.waited();
+    stats_.niWait = net_->waited();
+    stats_.net = net_->stats();
+    stats_.dirEntries = proto_->directory().size();
+    stats_.dirBits = proto_->directory().modeledStorageBits();
     stats_.events = eq_.processed();
     return stats_;
 }

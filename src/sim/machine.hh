@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "net/network.hh"
+#include "net/registry.hh"
 #include "os/first_touch.hh"
 #include "proto/protocol.hh"
 #include "proto/registry.hh"
@@ -54,7 +55,7 @@ class Machine : public CoherenceSink
     GlobalProtocol &protocol() { return *proto_; }
     /** Registry id of the system this machine runs ("ccnuma", ...). */
     const std::string &protocolId() const { return protocolId_; }
-    Network &network() { return net_; }
+    NetworkModel &network() { return *net_; }
     FirstTouchPlacement &placement() { return place_; }
     const RunStats &stats() const { return stats_; }
     const Params &params() const { return p; }
@@ -66,7 +67,7 @@ class Machine : public CoherenceSink
     CpuMap cpuMap;
     RunStats stats_;
     FirstTouchPlacement place_;
-    Network net_;
+    std::unique_ptr<NetworkModel> net_;
     std::vector<std::unique_ptr<Memory>> mems_;
     std::unique_ptr<GlobalProtocol> proto_;
     std::vector<std::unique_ptr<Node>> nodes_;

@@ -184,4 +184,36 @@ makeRwSharing(const Params &p, std::size_t rounds)
     return b.finish();
 }
 
+std::unique_ptr<VectorWorkload>
+makeScalingShift(const Params &p, std::size_t pages_per_node,
+                 std::size_t sweeps)
+{
+    RNUMA_ASSERT(p.numNodes >= 2, "needs at least two nodes");
+    StreamBuilder b("scaling-shift", p, 0x77);
+    std::vector<Addr> owned(p.numNodes);
+    for (NodeId n = 0; n < p.numNodes; ++n) {
+        owned[n] = b.allocPages(pages_per_node);
+        b.touchRange(firstCpuOf(p, n), owned[n],
+                     pages_per_node * p.pageSize);
+    }
+    b.barrier(); // placement completes before the parallel phase
+    NodeId half = p.numNodes / 2;
+    for (std::size_t s = 0; s < sweeps; ++s) {
+        for (std::size_t pg = 0; pg < pages_per_node; ++pg) {
+            for (std::size_t blk = 0; blk < p.blocksPerPage();
+                 ++blk) {
+                // Round-robin across readers per block so all nodes
+                // drive the interconnect concurrently.
+                for (NodeId n = 0; n < p.numNodes; ++n) {
+                    NodeId partner = (n + half) % p.numNodes;
+                    b.read(firstCpuOf(p, n),
+                           owned[partner] + pg * p.pageSize +
+                               blk * p.blockSize);
+                }
+            }
+        }
+    }
+    return b.finish();
+}
+
 } // namespace rnuma

@@ -82,6 +82,20 @@ makeAdversary(const Params &p, std::size_t pages,
 std::unique_ptr<VectorWorkload>
 makeRwSharing(const Params &p, std::size_t rounds);
 
+/**
+ * Machine-wide shift pattern for the scaling figure: every node owns
+ * @p pages_per_node pages, and each node's first CPU repeatedly
+ * reads the set owned by its antipodal partner, node
+ * (n + N/2) mod N. Unlike the two-node micro patterns this exercises
+ * every node and every home simultaneously, so interconnect topology
+ * (hop counts, link contention) and directory size actually scale
+ * with N — yet each page has exactly one remote reader, keeping
+ * sparse sharer sets (limited-pointer, any width ≥ 1) exact.
+ */
+std::unique_ptr<VectorWorkload>
+makeScalingShift(const Params &p, std::size_t pages_per_node,
+                 std::size_t sweeps);
+
 } // namespace rnuma
 
 #endif // RNUMA_WORKLOAD_MICRO_HH

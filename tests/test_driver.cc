@@ -150,7 +150,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v4");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v5");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -457,7 +457,7 @@ TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
     std::ostringstream os;
     JsonSink().write(os, {run});
     ResultDoc loaded = loadResults(os.str());
-    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v4");
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v5");
     ResultDoc direct = resultsOf({run});
     EXPECT_EQ(loaded.figures[0].protocols,
               direct.figures[0].protocols);
@@ -614,10 +614,10 @@ TEST(JsonParser, HandlesEscapesAndNumbers)
               "\"a\\\"b\\\\c\\n\\t\"");
 }
 
-TEST(FigureRegistry, HasAllElevenFiguresWithUniqueNames)
+TEST(FigureRegistry, HasAllTwelveFiguresWithUniqueNames)
 {
     const auto &specs = figureSpecs();
-    EXPECT_EQ(specs.size(), 11u);
+    EXPECT_EQ(specs.size(), 12u);
     for (const FigureSpec &a : specs) {
         std::size_t count = 0;
         for (const FigureSpec &b : specs)

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the network registry (net/registry.hh): built-in specs,
+ * name canonicalization, makeNetwork() dispatch, the model-derived
+ * remote-fetch latency, Params::validate()'s geometry rejection, and
+ * the same concurrent registration/lookup hammer the protocol
+ * registry carries — the registries share a locking discipline and
+ * must share its proof.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "net/registry.hh"
+#include "net/topology.hh"
+
+namespace rnuma
+{
+
+TEST(NetworkRegistry, BuiltinsResolveByIdAndDisplayName)
+{
+    EXPECT_NE(findNetworkSpec("constant"), nullptr);
+    EXPECT_NE(findNetworkSpec("mesh-2d"), nullptr);
+    EXPECT_NE(findNetworkSpec("fat-tree"), nullptr);
+    // Case-insensitive, display-name spellings included.
+    EXPECT_EQ(networkSpec("2D Mesh").id, "mesh-2d");
+    EXPECT_EQ(networkSpec("Fat Tree").id, "fat-tree");
+    EXPECT_EQ(networkSpec("CONSTANT").id, "constant");
+    EXPECT_EQ(findNetworkSpec("token-ring"), nullptr);
+    EXPECT_THROW(networkSpec("token-ring"), std::runtime_error);
+}
+
+TEST(NetworkRegistry, CanonicalIdNormalizesSpellings)
+{
+    EXPECT_EQ(canonicalNetworkId("Mesh"), "mesh-2d");
+    EXPECT_EQ(canonicalNetworkId("2d mesh"), "mesh-2d");
+    EXPECT_EQ(canonicalNetworkId("FatTree"), "fat-tree");
+    EXPECT_EQ(canonicalNetworkId("Constant"), "constant");
+    // Unknown labels pass through lowercased (the pre-v5 baseline
+    // shim relies on this being total).
+    EXPECT_EQ(canonicalNetworkId("Hypercube"), "hypercube");
+}
+
+TEST(NetworkRegistry, MakeNetworkDispatchesOnParams)
+{
+    Params p = Params::base();
+    auto constant = makeNetwork(p);
+    EXPECT_NE(dynamic_cast<Network *>(constant.get()), nullptr);
+    EXPECT_EQ(constant->meanLatency(), p.netLatency);
+
+    p.networkModel = "mesh-2d";
+    auto mesh = makeNetwork(p);
+    EXPECT_NE(dynamic_cast<MeshNetwork *>(mesh.get()), nullptr);
+    EXPECT_EQ(mesh->nodes(), p.numNodes);
+
+    p.networkModel = "fat-tree";
+    auto tree = makeNetwork(p);
+    EXPECT_NE(dynamic_cast<FatTreeNetwork *>(tree.get()), nullptr);
+
+    p.networkModel = "token-ring";
+    EXPECT_THROW(makeNetwork(p), std::runtime_error);
+}
+
+TEST(NetworkRegistry, RemoteFetchLatencyMatchesTable2ForConstant)
+{
+    // The model-derived path must reproduce the historical hardcoded
+    // formula exactly under the default (constant) model: Table 2's
+    // 376-cycle uncontended remote fetch.
+    Params p = Params::base();
+    EXPECT_EQ(remoteFetchLatency(p), p.remoteFetch());
+    EXPECT_EQ(remoteFetchLatency(p), 376u);
+    // Under a topology the wire term becomes the mean pairwise
+    // latency instead of the flat netLatency.
+    p.networkModel = "mesh-2d";
+    const Tick mesh_mean = makeNetwork(p)->meanLatency();
+    EXPECT_EQ(remoteFetchLatency(p), p.remoteFetch(mesh_mean));
+    EXPECT_NE(remoteFetchLatency(p), 376u);
+}
+
+TEST(NetworkRegistry, ValidateRejectsUnEmbeddableGeometry)
+{
+    Params p = Params::base();
+    p.networkModel = "mesh-2d";
+    p.numNodes = 7; // prime: no rectangular embedding
+    EXPECT_THROW(p.validate(), std::logic_error);
+    p.numNodes = 8;
+    EXPECT_NO_THROW(p.validate());
+
+    p.networkModel = "fat-tree";
+    p.numNodes = 12; // not a power of two
+    EXPECT_THROW(p.validate(), std::logic_error);
+    p.numNodes = 16;
+    EXPECT_NO_THROW(p.validate());
+
+    p.networkModel = "mesh-2d";
+    p.numNodes = 8;
+    p.hopLatency = 0;
+    EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(NetworkRegistry, ConcurrentRegistrationAndLookupIsSafe)
+{
+    // Same shape as the protocol registry's hammer: writers add
+    // fresh specs while readers resolve built-ins and enumerate.
+    // Registered test specs stay in the global registry afterwards
+    // (specs are never removed), which is harmless: ids are
+    // namespaced with a test prefix.
+    constexpr int writers = 4;
+    constexpr int readers = 4;
+    constexpr int perWriter = 8;
+    // Ids must be fresh per in-process run (e.g. --gtest_repeat):
+    // the registry never forgets and duplicates are fatal.
+    static int runSeq = 0;
+    const std::string prefix =
+        "net-test-race-r" + std::to_string(runSeq++) + "-w";
+    std::atomic<bool> go{false};
+    std::atomic<int> registered{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([w, &go, &registered, &prefix] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < perWriter; ++i) {
+                NetworkSpec spec;
+                spec.id = prefix + std::to_string(w) + "-" +
+                    std::to_string(i);
+                spec.displayName = "race net";
+                spec.description = "concurrency test spec";
+                spec.make = [](const Params &p) {
+                    return std::unique_ptr<NetworkModel>(
+                        std::make_unique<Network>(
+                            p.numNodes, p.netLatency,
+                            p.niOccupancy));
+                };
+                NetworkRegistry::global().add(std::move(spec));
+                registered.fetch_add(1);
+            }
+        });
+    }
+    // gtest macros are not thread-safe; readers tally failures into
+    // an atomic and the main thread asserts afterwards.
+    std::atomic<int> readerFailures{0};
+    for (int r = 0; r < readers; ++r) {
+        threads.emplace_back([&go, &readerFailures] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 200; ++i) {
+                if (findNetworkSpec("mesh-2d") == nullptr)
+                    readerFailures.fetch_add(1);
+                for (const NetworkSpec *s :
+                     NetworkRegistry::global().all()) {
+                    if (!s->valid())
+                        readerFailures.fetch_add(1);
+                }
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(readerFailures.load(), 0);
+    EXPECT_EQ(registered.load(), writers * perWriter);
+    for (int w = 0; w < writers; ++w) {
+        for (int i = 0; i < perWriter; ++i) {
+            EXPECT_NE(findNetworkSpec(prefix + std::to_string(w) +
+                                      "-" + std::to_string(i)),
+                      nullptr);
+        }
+    }
+}
+
+} // namespace rnuma

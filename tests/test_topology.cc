@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the hop-dependent interconnect topologies
+ * (net/topology.hh) and the geometry math they embed
+ * (common/geometry.hh): mesh factorization, dimension-ordered hop
+ * counts, per-link contention serialization, fat-tree log-distance
+ * hops, and the constant model's latency(from, to) quirk the
+ * acknowledgement bound depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hh"
+#include "net/topology.hh"
+
+namespace rnuma
+{
+
+TEST(Geometry, MeshDimsFactorsRectangles)
+{
+    std::size_t w = 0, h = 0;
+    ASSERT_TRUE(meshDims(8, &w, &h));
+    EXPECT_EQ(w, 4u);
+    EXPECT_EQ(h, 2u);
+    ASSERT_TRUE(meshDims(16, &w, &h));
+    EXPECT_EQ(w, 4u);
+    EXPECT_EQ(h, 4u);
+    ASSERT_TRUE(meshDims(32, &w, &h));
+    EXPECT_EQ(w, 8u);
+    EXPECT_EQ(h, 4u);
+    ASSERT_TRUE(meshDims(128, &w, &h));
+    EXPECT_EQ(w, 16u);
+    EXPECT_EQ(h, 8u);
+    ASSERT_TRUE(meshDims(512, &w, &h));
+    EXPECT_EQ(w, 32u);
+    EXPECT_EQ(h, 16u);
+    ASSERT_TRUE(meshDims(2, &w, &h));
+    EXPECT_EQ(w, 2u);
+    EXPECT_EQ(h, 1u);
+}
+
+TEST(Geometry, MeshDimsRejectsUnEmbeddableCounts)
+{
+    // Primes > 2 only factor as 1 x N strips, beyond the 2:1 aspect
+    // cap; so do skewed composites like 2 x 13.
+    EXPECT_FALSE(meshDims(7, nullptr, nullptr));
+    EXPECT_FALSE(meshDims(13, nullptr, nullptr));
+    EXPECT_FALSE(meshDims(26, nullptr, nullptr));
+    EXPECT_FALSE(meshDims(0, nullptr, nullptr));
+}
+
+TEST(Mesh, DimensionOrderedHopCounts)
+{
+    // 8 nodes -> 4 x 2: node n at (n % 4, n / 4).
+    MeshNetwork m(8, 25, 4, 20);
+    EXPECT_EQ(m.width(), 4u);
+    EXPECT_EQ(m.height(), 2u);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 1), 1u);
+    EXPECT_EQ(m.hops(0, 3), 3u); // same row, 3 columns
+    EXPECT_EQ(m.hops(0, 4), 1u); // same column, next row
+    EXPECT_EQ(m.hops(0, 7), 4u); // (0,0) -> (3,1): 3 + 1
+    EXPECT_EQ(m.hops(7, 0), 4u); // symmetric
+    // Contention-free wire = hops * hopLatency; diameter grows with
+    // the machine (the whole point of the topology axis).
+    EXPECT_EQ(m.latency(0, 7), 100u);
+    EXPECT_EQ(m.latency(0, 0), 0u);
+}
+
+TEST(Mesh, UncontendedSendIsNiPlusPerHopWire)
+{
+    MeshNetwork m(8, 25, 4, 20);
+    // NI occupancy (20), then one hop (25).
+    EXPECT_EQ(m.send(0, 0, 1, MsgKind::Request), 45u);
+    // Local messages bypass the network entirely.
+    EXPECT_EQ(m.send(7, 3, 3, MsgKind::Request), 7u);
+}
+
+TEST(Mesh, SharedLinkSerializesCrossingTraffic)
+{
+    MeshNetwork m(8, 25, 4, 20);
+    // 0 -> 2 routes 0 -> 1 -> 2: departs its NI at 20, crosses link
+    // 0->1 at [20, 24), arrives node 1 at 45, holds link 1->2 over
+    // [45, 49), arrives at 70.
+    EXPECT_EQ(m.send(0, 0, 2, MsgKind::Request), 70u);
+    // 1 -> 2 wants the same directed link 1->2 at t=20 but queues
+    // behind the first message until 49; uncontended it would arrive
+    // at 45 (NI 20 + one hop 25).
+    EXPECT_EQ(m.send(0, 1, 2, MsgKind::Request), 74u);
+    // The 29 cycles of link queueing show up in waited().
+    EXPECT_GE(m.waited(), 29u);
+}
+
+TEST(Mesh, MeanLatencyIsAverageOverDistinctPairs)
+{
+    MeshNetwork m(8, 25, 4, 20);
+    std::uint64_t sum = 0, pairs = 0;
+    for (NodeId a = 0; a < 8; ++a) {
+        for (NodeId b = 0; b < 8; ++b) {
+            if (a == b)
+                continue;
+            sum += m.latency(a, b);
+            pairs++;
+        }
+    }
+    const Tick expect =
+        static_cast<Tick>((sum + pairs / 2) / pairs);
+    EXPECT_EQ(m.meanLatency(), expect);
+}
+
+TEST(FatTree, HopsGrowWithLogDistance)
+{
+    FatTreeNetwork f(8, 25, 20);
+    EXPECT_EQ(f.hops(0, 0), 0u);
+    EXPECT_EQ(f.hops(0, 1), 2u); // siblings: 1 up, 1 down
+    EXPECT_EQ(f.hops(0, 2), 4u);
+    EXPECT_EQ(f.hops(0, 3), 4u);
+    EXPECT_EQ(f.hops(0, 7), 6u); // across the root
+    EXPECT_EQ(f.hops(7, 0), 6u);
+    EXPECT_EQ(f.latency(0, 7), 150u);
+}
+
+TEST(FatTree, InternalLinksAreContentionFree)
+{
+    FatTreeNetwork f(8, 25, 20);
+    // Two messages from different sources to the same destination:
+    // each pays only its own NI plus the wire — no link queueing
+    // (fat links), no destination charge (the receiving controller
+    // models that).
+    EXPECT_EQ(f.send(0, 0, 7, MsgKind::Request), 170u);
+    EXPECT_EQ(f.send(0, 1, 7, MsgKind::Request), 170u);
+    EXPECT_EQ(f.waited(), 0u);
+}
+
+TEST(Constant, LatencyIsFlatForEveryPairIncludingSelf)
+{
+    // The acknowledgement bound computes 2 * worst-wire over the
+    // invalidated sharers; the constant model must return netLatency
+    // even for from == to so that bound reproduces the historical
+    // 2 * netLatency arithmetic bit for bit.
+    Network n(4, 100, 20);
+    EXPECT_EQ(n.latency(0, 3), 100u);
+    EXPECT_EQ(n.latency(2, 2), 100u);
+    EXPECT_EQ(n.meanLatency(), 100u);
+}
+
+} // namespace rnuma

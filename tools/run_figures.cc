@@ -9,14 +9,19 @@
  *   --list               print the known figure names and exit
  *   --list-protocols     print the protocol registry (id, name,
  *                        policy, description) and exit
+ *   --list-networks      print the network registry (id, name,
+ *                        description) and exit
  *   --protocol NAME      (repeatable) select registered protocols
  *                        for protocol-parametric figures (the
  *                        "policies" sweep); other figures ignore it
+ *   --network NAME       (repeatable) select registered network
+ *                        models for network-parametric figures (the
+ *                        "scaling" sweep); other figures ignore it
  *   --scale S            workload scale (default: RNUMA_BENCH_SCALE
  *                        or 1)
  *   --jobs N             worker threads; 0 = hardware concurrency
  *                        (default 1)
- *   --json-out FILE      write results as rnuma-sweep-results/v3 JSON
+ *   --json-out FILE      write results as rnuma-sweep-results/v5 JSON
  *   --csv-out FILE       write results as flat CSV
  *   --verify             re-run each sweep serially and assert
  *                        bit-identical RunStats
@@ -49,6 +54,7 @@
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/result_sink.hh"
+#include "net/registry.hh"
 #include "proto/registry.hh"
 
 namespace
@@ -63,14 +69,18 @@ usage(std::ostream &os, int status)
     os << "usage: rnuma_sweep [options] <figure>... | all\n"
           "  --list               list figure names\n"
           "  --list-protocols     list the protocol registry\n"
+          "  --list-networks      list the network registry\n"
           "  --protocol NAME      (repeatable) select protocols for "
           "protocol-parametric\n"
           "                       figures (see 'policies')\n"
+          "  --network NAME       (repeatable) select network models "
+          "for network-parametric\n"
+          "                       figures (see 'scaling')\n"
           "  --scale S            workload scale (default: "
           "RNUMA_BENCH_SCALE or 1)\n"
           "  --jobs N             worker threads (0 = hardware "
           "concurrency; default 1)\n"
-          "  --json-out FILE      write rnuma-sweep-results/v3 JSON\n"
+          "  --json-out FILE      write rnuma-sweep-results/v5 JSON\n"
           "  --csv-out FILE       write flat CSV\n"
           "  --verify             assert serial/parallel RunStats "
           "are bit-identical\n"
@@ -108,6 +118,18 @@ listProtocols(std::ostream &os)
     os << "\n(policies are shown for the paper's base Params; "
           "select with --protocol,\nrun them via the 'policies' "
           "figure)\n";
+}
+
+void
+listNetworks(std::ostream &os)
+{
+    Table t({"id", "name", "description"});
+    for (const NetworkSpec *s : NetworkRegistry::global().all())
+        t.addRow({s->id, s->displayName, s->description});
+    t.print(os);
+    os << "\n(select with --network, sweep them via the 'scaling' "
+          "figure; every other\nfigure pins the paper's constant "
+          "model)\n";
 }
 
 /** Serialize, then re-parse as a malformed-output guard. */
@@ -163,6 +185,7 @@ main(int argc, char **argv)
     double scale = envScale();
     std::size_t jobs = 1;
     std::vector<std::string> protocols;
+    std::vector<std::string> networks;
     std::string json_out;
     std::string csv_out;
     std::string compare_path;
@@ -189,6 +212,8 @@ main(int argc, char **argv)
             return (listFigures(std::cout), 0);
         else if (arg == "--list-protocols")
             return (listProtocols(std::cout), 0);
+        else if (arg == "--list-networks")
+            return (listNetworks(std::cout), 0);
         else if (arg == "--protocol") {
             std::string name = next();
             if (!findProtocolSpec(name)) {
@@ -197,6 +222,14 @@ main(int argc, char **argv)
                 return 2;
             }
             protocols.push_back(name);
+        } else if (arg == "--network") {
+            std::string name = next();
+            if (!findNetworkSpec(name)) {
+                std::cerr << "rnuma_sweep: unknown network '"
+                          << name << "' (see --list-networks)\n";
+                return 2;
+            }
+            networks.push_back(name);
         } else if (arg == "--scale") {
             const char *val = next();
             char *end = nullptr;
@@ -279,6 +312,7 @@ main(int argc, char **argv)
     FigureOptions opt;
     opt.scale = scale;
     opt.protocols = protocols;
+    opt.networks = networks;
     // One process-scope snapshot store for the whole invocation, so
     // figures sharing a workload key generate it exactly once.
     WorkloadCache process_cache;
