@@ -39,6 +39,12 @@ StaticThresholdPolicy::onRefetch(Addr page)
     return false;
 }
 
+bool
+StaticThresholdPolicy::wouldFire(Addr page) const
+{
+    return countIn(counts, page) + 1 >= thresh;
+}
+
 void
 StaticThresholdPolicy::onRelocated(Addr page)
 {
@@ -105,6 +111,12 @@ HysteresisPolicy::onRefetch(Addr page)
         return true;
     }
     return false;
+}
+
+bool
+HysteresisPolicy::wouldFire(Addr page) const
+{
+    return countIn(counts, page) + 1 >= thresholdOf(page);
 }
 
 void
@@ -184,6 +196,12 @@ AdaptiveThresholdPolicy::onRefetch(Addr page)
         return true;
     }
     return false;
+}
+
+bool
+AdaptiveThresholdPolicy::wouldFire(Addr page) const
+{
+    return countIn(counts, page) + 1 >= thresholdOf(page);
 }
 
 void

@@ -62,6 +62,16 @@ class RelocationPolicy
     /** Drop all per-page state for @p page (unmap). */
     virtual void reset(Addr page) = 0;
 
+    /**
+     * Would the *next* onRefetch(@p page) fire? A side-effect-free
+     * probe for the parallel engine's confinement check: a firing
+     * relocation may evict a page whose blocks flush to a home
+     * outside the partition, so a potential fire forces the miss to
+     * the serial coordinator. The default is conservatively true
+     * (always defer); policies with a predictable rule override it.
+     */
+    virtual bool wouldFire(Addr /*page*/) const { return true; }
+
     /** Current pending refetch count for a page. */
     virtual std::uint64_t count(Addr page) const = 0;
 
@@ -84,6 +94,7 @@ class StaticThresholdPolicy : public RelocationPolicy
     explicit StaticThresholdPolicy(std::size_t threshold);
 
     bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
     void onEvicted(Addr page) override;
     void reset(Addr page) override;
@@ -121,6 +132,7 @@ class HysteresisPolicy : public RelocationPolicy
                      std::size_t revertedThreshold);
 
     bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
     void onEvicted(Addr page) override;
     void reset(Addr page) override;
@@ -170,6 +182,7 @@ class AdaptiveThresholdPolicy : public RelocationPolicy
                             std::size_t maxThreshold);
 
     bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
     void onEvicted(Addr page) override;
     void reset(Addr page) override;

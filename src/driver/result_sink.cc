@@ -24,8 +24,13 @@ namespace
 // reached the figure pipeline. v5 adds the per-cell "network" and
 // "directory" ids (the interconnect model and directory sharer-set
 // format the cell ran under) and the net_*/dir_* stat fields; the
-// gate defaults pre-v5 cells to "constant"/"full-map".
-constexpr const char *schemaName = "rnuma-sweep-results/v5";
+// gate defaults pre-v5 cells to "constant"/"full-map". v6 adds the
+// per-cell "intra_jobs" field: the intra-cell partition count the
+// cell's machine ran with (1 = the serial engine; pre-v6 cells could
+// only be serial, so the gate defaults them to 1). Cells at
+// intra_jobs > 1 are deterministic but not tick-identical to serial
+// runs; diff them with --compare-events instead of --compare.
+constexpr const char *schemaName = "rnuma-sweep-results/v6";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -181,6 +186,8 @@ JsonSink::write(std::ostream &os,
             w.value(c.network);
             w.key("directory");
             w.value(c.directory);
+            w.key("intra_jobs");
+            w.value(static_cast<std::uint64_t>(c.intraJobs));
             w.key("wall_ms");
             w.value(c.wallMs);
             w.key("events_per_sec");
@@ -207,7 +214,7 @@ CsvSink::write(std::ostream &os,
                const std::vector<FigureRun> &runs) const
 {
     os << "figure,scale,app,config,protocol,network,directory,"
-          "wall_ms,events_per_sec";
+          "intra_jobs,wall_ms,events_per_sec";
     for (const StatField &f : statFields())
         os << "," << f.name;
     os << "\n";
@@ -216,6 +223,7 @@ CsvSink::write(std::ostream &os,
             os << run.name << "," << run.scale << "," << c.app << ","
                << c.config << "," << c.protocol << ","
                << c.network << "," << c.directory << ","
+               << c.intraJobs << ","
                << c.wallMs << "," << c.eventsPerSec();
             for (const StatField &f : statFields())
                 os << "," << f.get(c.stats);

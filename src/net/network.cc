@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace rnuma
@@ -23,21 +25,23 @@ NetworkModel::ni(NodeId n)
 void
 NetworkModel::countMsg(MsgKind kind)
 {
-    counts[static_cast<std::size_t>(kind)]++;
+    counts[static_cast<std::size_t>(kind)]
+        .fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t
 NetworkModel::count(MsgKind kind) const
 {
-    return counts[static_cast<std::size_t>(kind)];
+    return counts[static_cast<std::size_t>(kind)]
+        .load(std::memory_order_relaxed);
 }
 
 std::uint64_t
 NetworkModel::totalMessages() const
 {
     std::uint64_t total = 0;
-    for (std::uint64_t c : counts)
-        total += c;
+    for (const auto &c : counts)
+        total += c.load(std::memory_order_relaxed);
     return total;
 }
 
@@ -46,7 +50,7 @@ NetworkModel::stats() const
 {
     NetworkStats s;
     for (std::size_t k = 0; k < numMsgKinds; ++k)
-        s.messages[k] = counts[k];
+        s.messages[k] = counts[k].load(std::memory_order_relaxed);
     return s;
 }
 
@@ -66,6 +70,20 @@ NetworkModel::meanLatency() const
     const std::uint64_t pairs =
         static_cast<std::uint64_t>(n) * (n - 1);
     return (sum + pairs / 2) / pairs;
+}
+
+Tick
+NetworkModel::minLatency() const
+{
+    const std::size_t n = nodes();
+    if (n < 2)
+        return 0;
+    Tick best = latency(0, 1);
+    for (NodeId a = 0; a < n; ++a)
+        for (NodeId b = 0; b < n; ++b)
+            if (a != b)
+                best = std::min(best, latency(a, b));
+    return best;
 }
 
 Tick

@@ -21,6 +21,7 @@
 #ifndef RNUMA_NET_NETWORK_HH
 #define RNUMA_NET_NETWORK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -82,6 +83,18 @@ class NetworkModel
      */
     virtual Tick meanLatency() const;
 
+    /**
+     * Minimum contention-free latency over all ordered pairs of
+     * distinct nodes: the conservative-parallel engine's lookahead.
+     * No cross-node effect can propagate faster than this, so two
+     * partitions whose clocks are within minLatency() of each other
+     * cannot causally affect one another inside the window. The
+     * constant model overrides this to its fixed latency; topology
+     * models inherit the pairwise scan (one hop for mesh-2d,
+     * sibling distance for fat-tree).
+     */
+    virtual Tick minLatency() const;
+
     /** Aggregate NI (and link, where modeled) queueing delay. */
     virtual Tick waited() const;
 
@@ -105,7 +118,12 @@ class NetworkModel
     std::vector<Resource> nis;
 
   private:
-    std::uint64_t counts[numMsgKinds] = {};
+    /**
+     * Relaxed atomics: under --intra-jobs > 1 several partition
+     * threads count messages concurrently, and sums commute, so the
+     * totals stay deterministic. Serial runs pay nothing measurable.
+     */
+    std::atomic<std::uint64_t> counts[numMsgKinds] = {};
 };
 
 /**
@@ -129,6 +147,7 @@ class Network : public NetworkModel
               MsgKind kind) override;
     Tick latency(NodeId from, NodeId to) const override;
     Tick meanLatency() const override { return netLatency; }
+    Tick minLatency() const override { return netLatency; }
 
     Tick latency() const { return netLatency; }
 

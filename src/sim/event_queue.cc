@@ -45,6 +45,15 @@ HeapEventQueue::pop()
     return e;
 }
 
+bool
+HeapEventQueue::popBefore(Tick limit, Event &out)
+{
+    if (heap.empty() || heap.top().when >= limit)
+        return false;
+    out = pop();
+    return true;
+}
+
 //--------------------------------------------------------------------------
 // EventQueue (indexed calendar over a far-future heap)
 //--------------------------------------------------------------------------
@@ -181,6 +190,15 @@ EventQueue::pop()
     size_--;
     popCount_++;
     return e;
+}
+
+bool
+EventQueue::popBefore(Tick limit, Event &out)
+{
+    if (size_ == 0 || peekTime() >= limit)
+        return false;
+    out = pop();
+    return true;
 }
 
 Tick

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The conservative parallel intra-cell engine (--intra-jobs N > 1).
+ *
+ * The machine's nodes are split into N contiguous partitions, each a
+ * logical process with a private event queue and statistics shard,
+ * synchronized by a time-window barrier: every round the engine
+ * computes a shared window edge
+ *
+ *     edge = minNext + intraWindow * max(1, net->minLatency())
+ *
+ * (minNext = the earliest pending event machine-wide; minLatency is
+ * the interconnect's smallest pairwise wire latency, the classic
+ * conservative-lookahead bound), then worker threads drain each
+ * partition's events strictly below the edge. An event is processed
+ * inside its partition only when a side-effect-free confinement probe
+ * (Node::missConfined, Rad::accessConfined, fetchConfined) proves all
+ * its side effects — directory shard, home memory, NI/controller
+ * occupancies, invalidation targets, victim writebacks — land on
+ * nodes of the same partition. Everything else parks on the
+ * partition's deferred list; at the window boundary the coordinator
+ * (the calling thread, alone) replays the deferred misses in global
+ * (time, cpu) order with full serial authority, releases the
+ * application barrier if every live CPU has arrived, and starts the
+ * next round.
+ *
+ * Determinism: partition assignment, per-partition event order, the
+ * boundary sort key, and the window edges are all pure functions of
+ * the run's inputs, so two runs at the same --intra-jobs produce
+ * identical RunStats. Results are NOT bit-identical to the serial
+ * engine (--intra-jobs 1, which bypasses this file entirely):
+ * confined events in different partitions no longer interleave in
+ * global time order, so resource-occupancy waits and directory state
+ * evolve on a slightly different schedule, bounded by the window
+ * width. Protocol event *counts* stay equivalent — the driver's
+ * --compare-events gate checks exactly that (docs/ARCHITECTURE.md,
+ * "Parallel intra-cell simulation", spells out the argument).
+ */
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "sim/machine.hh"
+
+namespace rnuma
+{
+
+Machine::Partition &
+Machine::partitionOf(CpuId cpu)
+{
+    return partitions_[cpu / cpusPerPartition_];
+}
+
+bool
+Machine::missConfined(const Partition &pt, CpuId cpu,
+                      const Ref &r) const
+{
+    Addr page = r.addr / p.pageSize;
+    if (!place_.placed(page))
+        return false; // first touch mutates global placement
+    NodeId n = cpuMap.nodeOf(cpu);
+    NodeId home = place_.homeOf(page);
+    return nodes_[n]->missConfined(cpuMap.localOf(cpu), r.addr,
+                                   r.write, home == n, pt.nodeLo,
+                                   pt.nodeHi);
+}
+
+void
+Machine::stepPartition(Partition &pt, CpuId cpu, Tick edge)
+{
+    CpuState &cs = cpus_[cpu];
+    if (cs.done || cs.waiting)
+        return;
+
+    if (cs.hasPending) {
+        // A fairness-deferred miss (think applied, L1 re-probed by
+        // access itself); run it if confined, else hand it to the
+        // coordinator.
+        if (missConfined(pt, cpu, cs.pending)) {
+            Ref r = cs.pending;
+            cs.hasPending = false;
+            cs.time = processMiss(cpu, r);
+            pt.eq.schedule(cs.time, cpu);
+        } else {
+            pt.deferred.push_back({cs.time, cpu});
+        }
+        return;
+    }
+
+    while (true) {
+        const Ref &r = wl.next(cpu);
+        switch (r.kind) {
+          case RefKind::InitTouch:
+            if (place_.placed(r.addr / p.pageSize))
+                continue; // placement already fixed: free no-op
+            // First touches mutate global placement: coordinator.
+            cs.hasPending = true;
+            cs.pending = r;
+            pt.deferred.push_back({cs.time, cpu});
+            return;
+
+          case RefKind::End:
+            cs.done = true;
+            pt.finished++;
+            if (cs.time > pt.stats.ticks)
+                pt.stats.ticks = cs.time;
+            return;
+
+          case RefKind::Barrier:
+            pt.arrived++;
+            if (cs.time > pt.arrivedMax)
+                pt.arrivedMax = cs.time;
+            cs.waiting = true;
+            return;
+
+          case RefKind::Mem: {
+            cs.time += r.think;
+            pt.stats.refs++;
+            NodeId n = cpuMap.nodeOf(cpu);
+            if (nodes_[n]->tryHit(cpuMap.localOf(cpu), r.addr,
+                                  r.write)) {
+                continue; // L1 hit: no shared state touched
+            }
+            // Same fairness rule as the serial engine, against the
+            // partition's own queue; a think-time run past the edge
+            // also re-enters through the queue so the next window
+            // picks it up.
+            if (cs.time >= edge ||
+                (!pt.eq.empty() && pt.eq.peekTime() < cs.time)) {
+                cs.hasPending = true;
+                cs.pending = r;
+                cs.pending.think = 0; // think already applied
+                pt.eq.schedule(cs.time, cpu);
+                return;
+            }
+            if (!missConfined(pt, cpu, r)) {
+                cs.hasPending = true;
+                cs.pending = r;
+                cs.pending.think = 0;
+                pt.deferred.push_back({cs.time, cpu});
+                return;
+            }
+            cs.time = processMiss(cpu, r);
+            pt.eq.schedule(cs.time, cpu);
+            return;
+          }
+        }
+    }
+}
+
+void
+Machine::drainPartition(Partition &pt, Tick edge)
+{
+    Event e;
+    while (pt.eq.popBefore(edge, e))
+        stepPartition(pt, static_cast<CpuId>(e.tag), edge);
+}
+
+std::size_t
+Machine::processDeferred(std::vector<Partition::Deferred> &batch)
+{
+    batch.clear();
+    for (Partition &pt : partitions_) {
+        batch.insert(batch.end(), pt.deferred.begin(),
+                     pt.deferred.end());
+        pt.deferred.clear();
+    }
+    // Global time order; each CPU defers at most once per round, so
+    // (when, cpu) is a deterministic total order.
+    std::sort(batch.begin(), batch.end(),
+              [](const Partition::Deferred &a,
+                 const Partition::Deferred &b) {
+                  return a.when != b.when ? a.when < b.when
+                                          : a.cpu < b.cpu;
+              });
+    for (const Partition::Deferred &d : batch) {
+        CpuState &cs = cpus_[d.cpu];
+        Ref r = cs.pending;
+        cs.hasPending = false;
+        if (r.kind == RefKind::InitTouch) {
+            NodeId n = cpuMap.nodeOf(d.cpu);
+            place_.touch(r.addr / p.pageSize, n);
+            // Serial parity: step() consumes a run of consecutive
+            // InitTouch entries in one uninterrupted activation, and
+            // first-touch placement is order-sensitive, so apply the
+            // whole run here rather than one touch per round (which
+            // would round-robin the runs across CPUs and home shared
+            // pages differently from the serial engine).
+            while (wl.peek(d.cpu).kind == RefKind::InitTouch)
+                place_.touch(wl.next(d.cpu).addr / p.pageSize, n);
+            // The CPU resumes its stream where it left off.
+            partitionOf(d.cpu).eq.schedule(cs.time, d.cpu);
+            continue;
+        }
+        cs.time = processMiss(d.cpu, r);
+        partitionOf(d.cpu).eq.schedule(cs.time, d.cpu);
+    }
+    return batch.size();
+}
+
+bool
+Machine::releaseBarrierParallel()
+{
+    std::size_t fin = 0;
+    std::size_t arrived = 0;
+    Tick max_arrival = 0;
+    for (Partition &pt : partitions_) {
+        fin += pt.finished;
+        arrived += pt.arrived;
+        if (pt.arrivedMax > max_arrival)
+            max_arrival = pt.arrivedMax;
+    }
+    std::size_t active = cpus_.size() - fin;
+    if (arrived == 0 || arrived < active)
+        return false;
+    // Identical arithmetic to the serial maybeReleaseBarrier():
+    // the release time depends only on the arrival times.
+    Tick resume = max_arrival + p.barrierCost;
+    stats_.barriers++;
+    for (Partition &pt : partitions_) {
+        pt.arrived = 0;
+        pt.arrivedMax = 0;
+    }
+    for (CpuId c = 0; c < cpus_.size(); ++c) {
+        CpuState &cs = cpus_[c];
+        if (cs.done || !cs.waiting)
+            continue;
+        cs.waiting = false;
+        cs.barrierWait += resume > cs.time ? resume - cs.time : 0;
+        cs.time = resume;
+        partitionOf(c).eq.schedule(resume, c);
+    }
+    return true;
+}
+
+RunStats
+Machine::runParallel()
+{
+    const Tick lookahead = std::max<Tick>(1, net_->minLatency());
+    const Tick window =
+        lookahead * static_cast<Tick>(p.intraWindow);
+
+    for (CpuId c = 0; c < cpus_.size(); ++c)
+        partitionOf(c).eq.schedule(0, c);
+
+    WorkerTeam team(partitions_.size());
+    std::vector<Partition::Deferred> batch;
+
+    while (true) {
+        bool any = false;
+        Tick min_next = 0;
+        for (Partition &pt : partitions_) {
+            if (pt.eq.empty())
+                continue;
+            Tick t = pt.eq.peekTime();
+            if (!any || t < min_next)
+                min_next = t;
+            any = true;
+        }
+        if (!any) {
+            std::size_t fin = 0;
+            for (Partition &pt : partitions_)
+                fin += pt.finished;
+            if (fin == cpus_.size())
+                break;
+            RNUMA_PANIC("deadlock: only ", fin, " of ", cpus_.size(),
+                        " cpus finished (mismatched barriers?)");
+        }
+        Tick edge = min_next + window;
+        if (edge < min_next) // Tick overflow: drain everything
+            edge = ~Tick{0};
+
+        // Iterate drain -> replay to quiescence below this edge
+        // before advancing the window. A single replay per window
+        // would starve every deferring CPU for the rest of the round
+        // (one cross-partition miss per window), systematically
+        // thinning the sharing interactions — and hence invalidation
+        // and remote-fetch counts — relative to the serial engine.
+        // Re-draining after each replay lets replayed CPUs make full
+        // progress inside the window, so the only divergence left is
+        // the bounded within-window reordering.
+        bool progress = true;
+        while (progress) {
+            team.run([this, edge](std::size_t w) {
+                drainPartition(partitions_[w], edge);
+            });
+            std::size_t replayed = processDeferred(batch);
+            bool released = releaseBarrierParallel();
+            progress = replayed > 0 || released;
+        }
+    }
+
+    // Deterministic reduction: shards merge in partition order, then
+    // the machine-global figures come from the live structures.
+    for (Partition &pt : partitions_) {
+        stats_.mergeFrom(pt.stats);
+        stats_.events += pt.eq.processed();
+    }
+    for (auto &n : nodes_)
+        stats_.busWait += n->bus().waited();
+    stats_.niWait = net_->waited();
+    stats_.net = net_->stats();
+    stats_.dirEntries = proto_->dirEntryCount();
+    stats_.dirBits = proto_->dirStorageBits();
+    return stats_;
+}
+
+} // namespace rnuma
