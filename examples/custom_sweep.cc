@@ -45,7 +45,7 @@ main(int argc, char **argv)
     Params inf = base;
     inf.infiniteBlockCache = true;
     sweep.add({app, "baseline", protocolSpec("ccnuma"), inf, make,
-               key});
+               key, app});
     for (std::size_t T : thresholds) {
         for (std::size_t kb : cache_kb) {
             // The threshold axis is a relocation-policy variant
@@ -56,7 +56,7 @@ main(int argc, char **argv)
             sweep.add({app,
                        "t" + std::to_string(T) + "-p" +
                            std::to_string(kb) + "k",
-                       staticThresholdSpec(T), p, make, key});
+                       staticThresholdSpec(T), p, make, key, app});
         }
     }
 

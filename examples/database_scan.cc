@@ -21,67 +21,7 @@
 #include "common/params.hh"
 #include "common/table.hh"
 #include "sim/runner.hh"
-#include "workload/synthetic.hh"
-
-namespace
-{
-
-using namespace rnuma;
-
-std::unique_ptr<VectorWorkload>
-makeDatabaseScan(const Params &p, std::size_t transactions)
-{
-    StreamBuilder b("database-scan", p, 0xdb);
-    const std::size_t pool_pages = 160; // shared buffer pool
-    const std::size_t rows_per_txn = 48;
-    const std::size_t hot_fraction_pages = 24; // hot tables
-
-    Addr pool = b.allocPages(pool_pages);
-    for (std::size_t pg = 0; pg < pool_pages; ++pg) {
-        NodeId n = static_cast<NodeId>(pg % b.nnodes());
-        b.touch(static_cast<CpuId>(n * b.cpusPerNode()),
-                pool + pg * p.pageSize);
-    }
-    Addr locks = b.allocPages(1);
-    b.touch(0, locks);
-    std::vector<Addr> scratch(b.ncpus());
-    for (CpuId c = 0; c < b.ncpus(); ++c) {
-        scratch[c] = b.allocPages(1);
-        b.touchRange(c, scratch[c], p.pageSize);
-    }
-
-    b.barrier();
-    for (std::size_t txn = 0; txn < transactions; ++txn) {
-        for (CpuId c = 0; c < b.ncpus(); ++c) {
-            // Acquire a latch: read-write traffic on the hot page.
-            Addr latch = locks +
-                b.rng().below(p.blocksPerPage()) * p.blockSize;
-            b.read(c, latch, 2);
-            b.write(c, latch, 2);
-            // Scan rows, mostly in the hot part of the pool.
-            for (std::size_t r = 0; r < rows_per_txn; ++r) {
-                std::size_t pg = b.rng().chance(0.8)
-                    ? b.rng().below(hot_fraction_pages)
-                    : b.rng().below(pool_pages);
-                Addr row = pool + pg * p.pageSize +
-                    b.rng().below(p.blocksPerPage()) * p.blockSize;
-                b.read(c, row, 6);
-                // 10% of rows are updated in place (read-write
-                // sharing that replication cannot help).
-                if (b.rng().chance(0.1))
-                    b.write(c, row, 4);
-                // Spill to private working storage.
-                b.write(c, scratch[c] +
-                            (r % p.blocksPerPage()) * p.blockSize, 2);
-            }
-        }
-        if (txn % 8 == 7)
-            b.barrier(); // commit groups
-    }
-    return b.finish();
-}
-
-} // namespace
+#include "workload/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -93,7 +33,11 @@ main(int argc, char **argv)
     Params p = Params::base();
     std::cout << "database_scan: OLTP-like read-write sharing ("
               << txns << " transaction rounds)\n\n";
-    auto wl = makeDatabaseScan(p, txns);
+    // The generator lives in the workload registry now
+    // (src/workload/serving.cc); seed 0xdb reproduces the stream
+    // this example has always run.
+    auto wl = makeWorkload("database-scan", p, 1.0, 0xdb,
+                           "transactions=" + std::to_string(txns));
     ProtocolComparison c = compareProtocols(p, *wl);
 
     Table t({"protocol", "normalized time", "refetches",

@@ -1,11 +1,21 @@
 /**
  * @file
- * trace_replay: record a workload's reference streams to a binary
- * trace file and replay it bit-identically — the mechanism for
+ * trace_replay: record a registered workload's reference streams to
+ * the streaming binary trace format (workload/trace_stream.hh) and
+ * replay it bit-identically off the file mapping — the mechanism for
  * sharing reproducible inputs and regression-testing protocol
- * changes.
+ * changes without materializing the trace in memory.
  *
- * Usage: trace_replay [app] [scale] [path]
+ * The replay side never loads the trace: StreamTraceWorkload decodes
+ * records lazily from an mmap of the file, so resident memory is
+ * bounded by one chunk per CPU regardless of trace length.
+ *
+ * Usage: trace_replay [workload] [scale] [path]
+ *   workload: any id from `rnuma_sweep --list-workloads`
+ *
+ * Exits 0 when the replayed run is bit-identical to the original
+ * (ticks and remote fetches match), 1 otherwise — CI uses this as
+ * the trace-format golden round-trip check.
  */
 
 #include <cstdlib>
@@ -14,7 +24,7 @@
 #include "common/params.hh"
 #include "sim/runner.hh"
 #include "workload/registry.hh"
-#include "workload/trace.hh"
+#include "workload/trace_stream.hh"
 
 int
 main(int argc, char **argv)
@@ -28,14 +38,14 @@ main(int argc, char **argv)
 
     std::cout << "recording " << app << " (scale " << scale
               << ") to " << path << " ...\n";
-    auto original = makeApp(app, p, scale);
-    saveTrace(*original, path);
+    auto original = makeWorkload(app, p, scale);
+    recordStreamTrace(*original, path);
 
-    std::cout << "replaying from trace ...\n";
-    auto replayed = loadTrace(path);
+    std::cout << "replaying from the file mapping ...\n";
+    StreamTraceWorkload replayed(path);
 
-    RunStats a = runProtocol(p, Protocol::RNuma, *original);
-    RunStats b = runProtocol(p, Protocol::RNuma, *replayed);
+    RunStats a = runProtocol(p, "rnuma", *original);
+    RunStats b = runProtocol(p, "rnuma", replayed);
 
     std::cout << "\noriginal : ticks=" << a.ticks
               << " remoteFetches=" << a.remoteFetches
@@ -44,10 +54,11 @@ main(int argc, char **argv)
               << " remoteFetches=" << b.remoteFetches
               << " relocations=" << b.relocations << "\n";
 
-    if (a.ticks == b.ticks && a.remoteFetches == b.remoteFetches) {
-        std::cout << "\nPASS: replay is bit-identical.\n";
+    if (a.ticks == b.ticks && a.remoteFetches == b.remoteFetches &&
+        a.relocations == b.relocations) {
+        std::cout << "\nPASS: streamed replay is bit-identical.\n";
         return 0;
     }
-    std::cout << "\nFAIL: replay diverged.\n";
+    std::cout << "\nFAIL: streamed replay diverged.\n";
     return 1;
 }

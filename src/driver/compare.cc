@@ -8,6 +8,7 @@
 #include "driver/json.hh"
 #include "net/registry.hh"
 #include "proto/registry.hh"
+#include "workload/registry.hh"
 
 namespace rnuma::driver
 {
@@ -124,6 +125,11 @@ loadResults(const std::string &json_text)
                     stringOr(jc.get("network"), c.network));
                 c.directory =
                     stringOr(jc.get("directory"), c.directory);
+                // v7 carries the per-cell workload-registry id;
+                // older documents predate the workload registry,
+                // so their cells keep the "" (unknown) default.
+                c.workload = canonicalWorkloadId(
+                    stringOr(jc.get("workload"), c.workload));
                 // v6 records the intra-cell partition count; older
                 // documents predate the parallel engine entirely.
                 c.intraJobs = static_cast<std::size_t>(
@@ -171,7 +177,7 @@ ResultDoc
 resultsOf(const std::vector<FigureRun> &runs)
 {
     ResultDoc out;
-    out.schema = "rnuma-sweep-results/v6";
+    out.schema = "rnuma-sweep-results/v7";
     for (const FigureRun &run : runs) {
         ResultFigure f;
         f.name = run.name;
@@ -188,6 +194,7 @@ resultsOf(const std::vector<FigureRun> &runs)
                 rc.network = c.network;
             if (!c.directory.empty())
                 rc.directory = c.directory;
+            rc.workload = c.workload;
             rc.intraJobs = c.intraJobs;
             rc.ticks = c.stats.ticks;
             rc.events = c.stats.events;
@@ -221,6 +228,11 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
     // change against them is informational only.
     bool networkComparable =
         baseline.version() >= 5 && current.version() >= 5;
+    // Pre-v7 documents carried no per-cell workload ids (their cells
+    // loaded with the "" default), so an id change against them is
+    // informational only.
+    bool workloadComparable =
+        baseline.version() >= 7 && current.version() >= 7;
 
     for (const ResultFigure &bf : baseline.figures) {
         const ResultFigure *cf = current.find(bf.name);
@@ -299,6 +311,20 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
                 } else {
                     os << "note: " << msg
                        << " — pre-v5 baseline, defaults assumed\n";
+                }
+            }
+            if (!bc.workload.empty() && !cc->workload.empty() &&
+                bc.workload != cc->workload) {
+                std::string msg = bf.name + "/" + bc.app + "/" +
+                    bc.config + ": workload changed (baseline '" +
+                    bc.workload + "', current '" + cc->workload +
+                    "')";
+                if (workloadComparable) {
+                    fail(msg);
+                    figure_drift++;
+                } else {
+                    os << "note: " << msg
+                       << " — pre-v7 baseline, no workload ids\n";
                 }
             }
         }

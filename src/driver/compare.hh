@@ -53,6 +53,13 @@ struct ResultCell
      */
     std::string directory = "full-map";
     /**
+     * Canonical workload-registry id of the cell's generator
+     * ("barnes", "zipf-serve", ...). Pre-v7 documents carried none;
+     * their cells default to "" (unknown), and the gate reports a
+     * workload mismatch against them as a note, not a violation.
+     */
+    std::string workload;
+    /**
      * Intra-cell partition count the cell ran with. Pre-v6 documents
      * predate the parallel engine, so their cells default to 1 (the
      * only engine that existed).
@@ -105,7 +112,7 @@ struct ResultDoc
 
 /**
  * Extract the comparable slice from a parsed rnuma-sweep-results
- * document (v1 through v6). Throws std::runtime_error on documents
+ * document (v1 through v7). Throws std::runtime_error on documents
  * that are not sweep results at all.
  */
 ResultDoc loadResults(const std::string &json_text);

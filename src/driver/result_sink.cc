@@ -29,8 +29,13 @@ namespace
 // cell's machine ran with (1 = the serial engine; pre-v6 cells could
 // only be serial, so the gate defaults them to 1). Cells at
 // intra_jobs > 1 are deterministic but not tick-identical to serial
-// runs; diff them with --compare-events instead of --compare.
-constexpr const char *schemaName = "rnuma-sweep-results/v6";
+// runs; diff them with --compare-events instead of --compare. v7
+// adds the per-cell "workload" field: the workload-registry id of
+// the generator behind the cell ("barnes", "zipf-serve", ...; ""
+// for an ad-hoc factory). Pre-v7 cells carried no workload ids, so
+// the gate treats a workload mismatch against older baselines as a
+// note, not a violation.
+constexpr const char *schemaName = "rnuma-sweep-results/v7";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -186,6 +191,8 @@ JsonSink::write(std::ostream &os,
             w.value(c.network);
             w.key("directory");
             w.value(c.directory);
+            w.key("workload");
+            w.value(c.workload);
             w.key("intra_jobs");
             w.value(static_cast<std::uint64_t>(c.intraJobs));
             w.key("wall_ms");
@@ -214,7 +221,7 @@ CsvSink::write(std::ostream &os,
                const std::vector<FigureRun> &runs) const
 {
     os << "figure,scale,app,config,protocol,network,directory,"
-          "intra_jobs,wall_ms,events_per_sec";
+          "workload,intra_jobs,wall_ms,events_per_sec";
     for (const StatField &f : statFields())
         os << "," << f.name;
     os << "\n";
@@ -223,7 +230,7 @@ CsvSink::write(std::ostream &os,
             os << run.name << "," << run.scale << "," << c.app << ","
                << c.config << "," << c.protocol << ","
                << c.network << "," << c.directory << ","
-               << c.intraJobs << ","
+               << c.workload << "," << c.intraJobs << ","
                << c.wallMs << "," << c.eventsPerSec();
             for (const StatField &f : statFields())
                 os << "," << f.get(c.stats);

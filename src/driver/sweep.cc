@@ -119,6 +119,7 @@ Sweep::addApp(const std::string &app, const std::string &config,
     c.params = p;
     c.make = appFactory(app, p, scale, seed);
     c.workloadKey = workloadCacheKey(app, p, scale, seed);
+    c.workload = app;
     add(std::move(c));
 }
 
@@ -134,6 +135,7 @@ Sweep::addBaseline(const std::string &app, const Params &p,
     c.params.infiniteBlockCache = true;
     c.make = appFactory(app, p, scale, seed);
     c.workloadKey = workloadCacheKey(app, p, scale, seed);
+    c.workload = app;
     add(std::move(c));
 }
 

@@ -80,6 +80,14 @@ struct Cell
      * Empty means "don't cache": the cell always calls `make`.
      */
     std::string workloadKey;
+    /**
+     * Stable workload-registry id of the generator behind `make`
+     * ("barnes", "zipf-serve", ...), recorded per cell in the JSON
+     * artifact (schema v7). Distinct from `app`, which is a figure
+     * row label and may carry sweep-axis decoration ("zipf-0.95").
+     * Empty means unidentified (an ad-hoc factory).
+     */
+    std::string workload;
 };
 
 /** An ordered collection of cells with identity metadata. */

@@ -141,6 +141,7 @@ runCell(const Cell &cell, const SnapshotMap &snapshots,
     r.protocolName = cell.proto.displayName;
     r.network = cell.params.networkModel;
     r.directory = cell.params.directoryId();
+    r.workload = cell.workload;
     r.intraJobs = cell.params.intraJobs;
 
     auto t0 = std::chrono::steady_clock::now();

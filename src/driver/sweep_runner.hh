@@ -41,6 +41,7 @@ struct CellResult
     std::string protocolName; ///< display name ("CC-NUMA", ...)
     std::string network;      ///< network model id ("constant", ...)
     std::string directory;    ///< directory format id ("full-map", ...)
+    std::string workload;     ///< workload registry id ("barnes", ...)
     /**
      * Intra-cell partitions the cell's machine ran with (1 = the
      * serial engine). The effective per-cell value: a sweep-level

@@ -1,13 +1,33 @@
 /**
  * @file
- * Name-indexed registry of the ten application generators (Table 3),
- * in the paper's order, for the benchmark harnesses.
+ * The workload registry: string-keyed, composable reference-stream
+ * generators mirroring the protocol and network registries
+ * (proto/registry.hh, net/registry.hh). A WorkloadSpec captures a
+ * stable id (the JSON/compare/CLI currency), a display name, and a
+ * factory from (Params, scale, seed, option string) to a Workload.
+ *
+ * The built-ins cover three categories:
+ *  - "app": the ten Table 3 application generators (barnes ...
+ *    raytrace), in the paper's order;
+ *  - "micro": the analyzable microbenchmark patterns (private-loop,
+ *    hot-reuse, evict-storm, producer-consumer, adversary,
+ *    rw-sharing, scaling-shift);
+ *  - "serving": the commercial-serving generators the paper's
+ *    Section 1 motivation describes (zipf-serve, phase-shift,
+ *    tenants, database-scan).
+ *
+ * New generators are one registration away and immediately
+ * selectable from the rnuma_sweep/rnuma_bench CLIs (--workload,
+ * --list-workloads) and sweepable by the workload-parametric
+ * figures (the "churn" sweep).
  */
 
 #ifndef RNUMA_WORKLOAD_REGISTRY_HH
 #define RNUMA_WORKLOAD_REGISTRY_HH
 
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +36,143 @@
 
 namespace rnuma
 {
+
+/**
+ * Parsed "key=value,key=value" generator options (the WorkloadSpec
+ * factory's fourth argument). Typed getters record which keys were
+ * consumed; finish() is fatal on any leftover, so a misspelled
+ * option fails loudly instead of silently running the default.
+ */
+class WorkloadOptions
+{
+  public:
+    /** Parse @p text ("" = no options). Fatal on malformed pairs. */
+    static WorkloadOptions parse(const std::string &text);
+
+    std::size_t getSize(const std::string &key,
+                        std::size_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Fatal on unconsumed (unknown) keys. Call once, when done. */
+    void finish(const std::string &workload) const;
+
+  private:
+    struct Pair
+    {
+        std::string key;
+        std::string value;
+        mutable bool consumed = false;
+    };
+    const Pair *find(const std::string &key) const;
+
+    std::vector<Pair> pairs_;
+};
+
+/**
+ * Builds a workload from the machine geometry, the input scale, the
+ * generator seed, and a generator-specific option string (see
+ * WorkloadOptions; "" selects every default).
+ */
+using WorkloadMakeFn = std::function<std::unique_ptr<Workload>(
+    const Params &, double, std::uint64_t, const std::string &)>;
+
+/** One selectable workload generator. Value-semantic, like
+ * ProtocolSpec: cells copy the id they run under. */
+struct WorkloadSpec
+{
+    /**
+     * Stable machine-readable id: the JSON artifact / compare-gate /
+     * CLI currency ("barnes", "zipf-serve", ...). Lowercase, no
+     * spaces.
+     */
+    std::string id;
+    /** Human-readable name for tables and logs ("Zipf serving"). */
+    std::string displayName;
+    /** One-line description for --list-workloads. */
+    std::string description;
+    /** Table 3 "Input Data Set"-style default-input description. */
+    std::string input;
+    /** Category: "app", "micro", or "serving". */
+    std::string category;
+    /** Required: builds the workload. */
+    WorkloadMakeFn make;
+
+    bool valid() const { return !id.empty() && make != nullptr; }
+};
+
+/**
+ * The process-wide name -> WorkloadSpec table. Lookup is
+ * case-insensitive on id and display name. Thread-safe exactly like
+ * ProtocolRegistry: registration takes an exclusive lock and lookups
+ * a shared one; returned spec pointers stay valid forever.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** The global registry, with the built-ins pre-registered. */
+    static WorkloadRegistry &global();
+
+    /**
+     * Register a spec. Fatal on an invalid spec or a duplicate id.
+     * @return the registered (stably stored) spec.
+     */
+    const WorkloadSpec &add(WorkloadSpec spec);
+
+    /** Look up by id/display name; nullptr when unknown. */
+    const WorkloadSpec *find(const std::string &name) const;
+
+    /** Look up; fatal (std::runtime_error under tests) when unknown. */
+    const WorkloadSpec &at(const std::string &name) const;
+
+    /** All specs, in registration order (built-ins first). */
+    std::vector<const WorkloadSpec *> all() const;
+
+    std::size_t size() const;
+
+  private:
+    WorkloadRegistry();
+
+    /** find() without taking the lock (callers hold it). */
+    const WorkloadSpec *findLocked(const std::string &name) const;
+
+    /** Guards specs_: exclusive for add, shared for lookups. */
+    mutable std::shared_mutex mutex_;
+    std::vector<std::unique_ptr<WorkloadSpec>> specs_;
+};
+
+/**
+ * Normalize a workload label to its stable id: lowercased. Unknown
+ * labels pass through lowercased — the shim the compare gate uses
+ * against pre-v7 baselines (whose cells carried no workload ids).
+ */
+std::string canonicalWorkloadId(const std::string &name);
+
+/** Shorthand for WorkloadRegistry::global().at(name). */
+const WorkloadSpec &workloadSpec(const std::string &name);
+
+/** Shorthand for WorkloadRegistry::global().find(name). */
+const WorkloadSpec *findWorkloadSpec(const std::string &name);
+
+/**
+ * Build a registered workload by name. Fatal on unknown names or
+ * (via the generator's WorkloadOptions::finish) unknown options.
+ * Asserts the product emits at least one memory reference when it is
+ * materialized (a VectorWorkload): a workload with zero loads and
+ * stores would silently turn every figure cell into a no-op.
+ */
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const Params &p,
+             double scale = 1.0, std::uint64_t seed = 1,
+             const std::string &options = "");
+
+//--------------------------------------------------------------------------
+// The pre-registry application interface, preserved verbatim: the ten
+// Table 3 generators by name. Every call maps onto the registry's
+// "app" entries, so the streams (and the figure artifacts downstream
+// of them) are bit-identical to the pre-registry harness.
+//--------------------------------------------------------------------------
 
 /** The ten application names in the paper's (alphabetical) order. */
 const std::vector<std::string> &appNames();

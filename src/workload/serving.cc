@@ -1,0 +1,271 @@
+#include "workload/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workload/registry.hh"
+#include "workload/synthetic.hh"
+
+namespace rnuma
+{
+
+namespace
+{
+
+/**
+ * Precomputed Zipf(theta) sampler over ranks [0, n): rank r carries
+ * weight 1/(r+1)^theta. Sampling is a uniform draw against the
+ * cumulative weight table (binary search), so the stream cost is
+ * O(log n) per reference with no rejection.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta)
+    {
+        RNUMA_ASSERT(n > 0, "zipf sampler needs a non-empty pool");
+        RNUMA_ASSERT(theta >= 0.0, "zipf skew theta must be >= 0, got ",
+                     theta);
+        cum_.reserve(n);
+        double total = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            total += 1.0 /
+                     std::pow(static_cast<double>(r + 1), theta);
+            cum_.push_back(total);
+        }
+    }
+
+    std::size_t
+    draw(Rng &rng) const
+    {
+        double u = rng.uniform() * cum_.back();
+        auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+        if (it == cum_.end())
+            --it;
+        return static_cast<std::size_t>(it - cum_.begin());
+    }
+
+  private:
+    std::vector<double> cum_;
+};
+
+/** Home page @p pg of a pool at @p base round-robin across nodes via
+ * each node's first CPU (the serving pools' placement policy). */
+void
+homeRoundRobin(StreamBuilder &b, Addr base, std::size_t pages)
+{
+    for (std::size_t pg = 0; pg < pages; ++pg) {
+        NodeId n = static_cast<NodeId>(pg % b.nnodes());
+        b.touch(static_cast<CpuId>(n * b.cpusPerNode()),
+                base + pg * b.params().pageSize);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<VectorWorkload>
+makeZipfServe(const Params &p, double scale, std::uint64_t seed,
+              const std::string &options)
+{
+    auto o = WorkloadOptions::parse(options);
+    std::size_t pages = o.getSize("pages", scaled(480, scale, 16));
+    double theta = o.getDouble("theta", 0.8);
+    double writeFrac = o.getDouble("write", 0.1);
+    std::size_t requests =
+        o.getSize("requests", scaled(2400, scale, 40));
+    o.finish("zipf-serve");
+    RNUMA_ASSERT(writeFrac >= 0.0 && writeFrac <= 1.0,
+                 "zipf-serve write fraction must be in [0,1], got ",
+                 writeFrac);
+
+    StreamBuilder b("zipf-serve", p, seed);
+    Addr pool = b.allocPages(pages);
+    homeRoundRobin(b, pool, pages);
+    // Per-CPU session state: private, node-local request scratch.
+    std::vector<Addr> session(b.ncpus());
+    for (CpuId c = 0; c < b.ncpus(); ++c) {
+        session[c] = b.allocPages(1);
+        b.touchRange(c, session[c], p.pageSize);
+    }
+    b.barrier();
+
+    ZipfSampler zipf(pages, theta);
+    for (std::size_t req = 0; req < requests; ++req) {
+        for (CpuId c = 0; c < b.ncpus(); ++c) {
+            std::size_t pg = zipf.draw(b.rng());
+            Addr a = pool + pg * p.pageSize +
+                     b.rng().below(p.blocksPerPage()) * p.blockSize;
+            b.read(c, a, 6);
+            if (b.rng().chance(writeFrac))
+                b.write(c, a, 4);
+            b.write(c, session[c] +
+                           (req % p.blocksPerPage()) * p.blockSize,
+                    2);
+        }
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makePhaseShift(const Params &p, double scale, std::uint64_t seed,
+               const std::string &options)
+{
+    auto o = WorkloadOptions::parse(options);
+    // Pool ~3x the frame budget (geometry-derived, like evict-storm:
+    // the rotation must overflow the page cache at every scale).
+    std::size_t pages =
+        o.getSize("pages", 3 * p.pageCacheFrames());
+    std::size_t phases = o.getSize("phases", 6);
+    std::size_t sweeps = o.getSize("sweeps", scaled(4, scale, 2));
+    o.finish("phase-shift");
+    RNUMA_ASSERT(pages > 0 && phases > 0 && sweeps > 0,
+                 "phase-shift needs non-zero pages/phases/sweeps");
+
+    StreamBuilder b("phase-shift", p, seed);
+    Addr pool = b.allocPages(pages);
+    homeRoundRobin(b, pool, pages);
+    b.barrier();
+
+    std::size_t window = std::min(pages, p.pageCacheFrames());
+    std::size_t step = std::max<std::size_t>(1, pages / phases);
+    for (std::size_t ph = 0; ph < phases; ++ph) {
+        std::size_t start = ph * step;
+        for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+            for (std::size_t i = 0; i < window; ++i) {
+                std::size_t pg = (start + i) % pages;
+                for (CpuId c = 0; c < b.ncpus(); ++c) {
+                    Addr a = pool + pg * p.pageSize +
+                             b.rng().below(p.blocksPerPage()) *
+                                 p.blockSize;
+                    b.read(c, a, 4);
+                    // In-place updates keep the set read-write
+                    // shared (the Section 1 traffic class).
+                    if (b.rng().chance(0.1))
+                        b.write(c, a, 4);
+                }
+            }
+        }
+        // The phase boundary: the window advances past the barrier,
+        // so pages relocated this phase fall cold in the next.
+        b.barrier();
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeTenants(const Params &p, double scale, std::uint64_t seed,
+            const std::string &options)
+{
+    auto o = WorkloadOptions::parse(options);
+    std::size_t tenants = o.getSize("tenants", 4);
+    std::size_t pages = o.getSize("pages", scaled(96, scale, 8));
+    std::size_t rounds = o.getSize("rounds", scaled(6, scale, 2));
+    o.finish("tenants");
+    RNUMA_ASSERT(tenants > 0 && pages > 0 && rounds > 0,
+                 "tenants needs non-zero tenants/pages/rounds");
+
+    StreamBuilder b("tenants", p, seed);
+    tenants = std::min(tenants, b.ncpus());
+
+    // Each tenant owns a disjoint slice, homed round-robin across
+    // the nodes, and is served only by CPUs c with c mod K == t —
+    // placement included, so per-tenant address sets stay disjoint
+    // per CPU by construction.
+    std::vector<Addr> base(tenants);
+    for (std::size_t t = 0; t < tenants; ++t) {
+        base[t] = b.allocPages(pages);
+        std::size_t servers = (b.ncpus() - t + tenants - 1) / tenants;
+        for (std::size_t pg = 0; pg < pages; ++pg) {
+            CpuId c = static_cast<CpuId>(
+                t + tenants * (pg % servers));
+            b.touch(c, base[t] + pg * p.pageSize);
+        }
+    }
+    b.barrier();
+
+    std::size_t hot = std::max<std::size_t>(1, pages / 4);
+    std::size_t refsPerRound = 2 * pages;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t r = 0; r < refsPerRound; ++r) {
+            for (CpuId c = 0; c < b.ncpus(); ++c) {
+                std::size_t t = c % tenants;
+                std::size_t pg = b.rng().chance(0.8)
+                                     ? b.rng().below(hot)
+                                     : b.rng().below(pages);
+                Addr a = base[t] + pg * p.pageSize +
+                         b.rng().below(p.blocksPerPage()) *
+                             p.blockSize;
+                b.read(c, a, 4);
+                if (b.rng().chance(0.1))
+                    b.write(c, a, 4);
+            }
+        }
+        b.barrier();
+    }
+    return b.finish();
+}
+
+std::unique_ptr<VectorWorkload>
+makeDatabaseScan(const Params &p, double scale, std::uint64_t seed,
+                 const std::string &options)
+{
+    auto o = WorkloadOptions::parse(options);
+    std::size_t transactions =
+        o.getSize("transactions", scaled(48, scale, 8));
+    std::size_t pool_pages = o.getSize("pool", 160);
+    std::size_t rows_per_txn = o.getSize("rows", 48);
+    std::size_t hot_fraction_pages = o.getSize("hot", 24);
+    o.finish("database-scan");
+    RNUMA_ASSERT(hot_fraction_pages <= pool_pages,
+                 "database-scan hot set (", hot_fraction_pages,
+                 " pages) exceeds the pool (", pool_pages, ")");
+
+    StreamBuilder b("database-scan", p, seed);
+    Addr pool = b.allocPages(pool_pages);
+    for (std::size_t pg = 0; pg < pool_pages; ++pg) {
+        NodeId n = static_cast<NodeId>(pg % b.nnodes());
+        b.touch(static_cast<CpuId>(n * b.cpusPerNode()),
+                pool + pg * p.pageSize);
+    }
+    Addr locks = b.allocPages(1);
+    b.touch(0, locks);
+    std::vector<Addr> scratch(b.ncpus());
+    for (CpuId c = 0; c < b.ncpus(); ++c) {
+        scratch[c] = b.allocPages(1);
+        b.touchRange(c, scratch[c], p.pageSize);
+    }
+
+    b.barrier();
+    for (std::size_t txn = 0; txn < transactions; ++txn) {
+        for (CpuId c = 0; c < b.ncpus(); ++c) {
+            // Acquire a latch: read-write traffic on the hot page.
+            Addr latch = locks +
+                b.rng().below(p.blocksPerPage()) * p.blockSize;
+            b.read(c, latch, 2);
+            b.write(c, latch, 2);
+            // Scan rows, mostly in the hot part of the pool.
+            for (std::size_t r = 0; r < rows_per_txn; ++r) {
+                std::size_t pg = b.rng().chance(0.8)
+                    ? b.rng().below(hot_fraction_pages)
+                    : b.rng().below(pool_pages);
+                Addr row = pool + pg * p.pageSize +
+                    b.rng().below(p.blocksPerPage()) * p.blockSize;
+                b.read(c, row, 6);
+                // 10% of rows are updated in place (read-write
+                // sharing that replication cannot help).
+                if (b.rng().chance(0.1))
+                    b.write(c, row, 4);
+                // Spill to private working storage.
+                b.write(c, scratch[c] +
+                            (r % p.blocksPerPage()) * p.blockSize, 2);
+            }
+        }
+        if (txn % 8 == 7)
+            b.barrier(); // commit groups
+    }
+    return b.finish();
+}
+
+} // namespace rnuma

@@ -71,7 +71,8 @@ TEST(SweepDecl, RejectsDuplicateCellAndMissingFactory)
     EXPECT_THROW(
         s.addApp("moldyn", "ccnuma", p, "scoma", testScale),
         std::runtime_error);
-    EXPECT_THROW(s.add({"x", "y", protocolSpec("ccnuma"), p, nullptr, ""}),
+    EXPECT_THROW(s.add({"x", "y", protocolSpec("ccnuma"), p, nullptr,
+                        "", ""}),
                  std::logic_error);
 }
 
@@ -175,7 +176,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v6");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v7");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -255,8 +256,10 @@ TEST(WorkloadCache, UnkeyedCellsBypassTheCache)
     Sweep s("unkeyed", "", "");
     Params p = test::smallParams();
     WorkloadFactory make = appFactory("moldyn", p, testScale);
-    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make, ""});
-    s.add({"moldyn", "b", protocolSpec("scoma"), p, make, ""});
+    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make, "",
+           "moldyn"});
+    s.add({"moldyn", "b", protocolSpec("scoma"), p, make, "",
+           "moldyn"});
     SweepResult r = SweepRunner(1).run(s);
     EXPECT_EQ(r.workloadsGenerated, 0u);
     EXPECT_EQ(r.workloadCacheHits, 0u);
@@ -306,8 +309,10 @@ TEST(WorkloadCache, NonSnapshottableKeyedFactoryWastesNoGeneration)
             OpaqueWorkload>(makeApp("moldyn", p, testScale)));
     };
     Sweep s("opaque", "", "");
-    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make, "opaque-key"});
-    s.add({"moldyn", "b", protocolSpec("scoma"), p, make, "opaque-key"});
+    s.add({"moldyn", "a", protocolSpec("ccnuma"), p, make,
+           "opaque-key", "moldyn"});
+    s.add({"moldyn", "b", protocolSpec("scoma"), p, make,
+           "opaque-key", "moldyn"});
     SweepResult r = SweepRunner(1).run(s);
     EXPECT_EQ(r.workloadsGenerated, 0u);
     EXPECT_EQ(r.workloadCacheHits, 0u);
@@ -483,7 +488,7 @@ TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
     std::ostringstream os;
     JsonSink().write(os, {run});
     ResultDoc loaded = loadResults(os.str());
-    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v6");
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v7");
     ResultDoc direct = resultsOf({run});
     EXPECT_EQ(loaded.figures[0].protocols,
               direct.figures[0].protocols);
@@ -718,10 +723,10 @@ TEST(JsonParser, HandlesEscapesAndNumbers)
               "\"a\\\"b\\\\c\\n\\t\"");
 }
 
-TEST(FigureRegistry, HasAllTwelveFiguresWithUniqueNames)
+TEST(FigureRegistry, HasAllFifteenFiguresWithUniqueNames)
 {
     const auto &specs = figureSpecs();
-    EXPECT_EQ(specs.size(), 12u);
+    EXPECT_EQ(specs.size(), 15u);
     for (const FigureSpec &a : specs) {
         std::size_t count = 0;
         for (const FigureSpec &b : specs)

@@ -15,6 +15,11 @@
  * medians from being polluted by one-time generation cost.
  *
  * Usage: rnuma_bench [options] [<figure>... | all]
+ *   --list-workloads     print the workload registry (id, name,
+ *                        category, input, description) and exit
+ *   --workload NAME      (repeatable) select registered workloads
+ *                        for workload-parametric figures (the
+ *                        "churn" sweep); other figures ignore it
  *   --runs N             runs per figure to take the median over
  *                        (default 5)
  *   --scale S            workload scale (default: RNUMA_BENCH_SCALE
@@ -47,10 +52,12 @@
 #include <string>
 #include <vector>
 
+#include "common/table.hh"
 #include "driver/compare.hh"
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/sweep_runner.hh"
+#include "workload/registry.hh"
 
 namespace
 {
@@ -62,6 +69,10 @@ int
 usage(std::ostream &os, int status)
 {
     os << "usage: rnuma_bench [options] [<figure>... | all]\n"
+          "  --list-workloads     list the workload registry\n"
+          "  --workload NAME      (repeatable) select workloads for "
+          "workload-parametric\n"
+          "                       figures (see 'churn')\n"
           "  --runs N             runs per figure for the median "
           "(default 5)\n"
           "  --scale S            workload scale (default: "
@@ -118,6 +129,7 @@ main(int argc, char **argv)
     std::string current_path;
     double rate_tolerance = 8.0;
     bool quiet = false;
+    std::vector<std::string> workloads;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -132,7 +144,26 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h")
             return usage(std::cout, 0);
-        else if (arg == "--runs") {
+        else if (arg == "--list-workloads") {
+            Table t({"id", "name", "category", "input",
+                     "description"});
+            for (const WorkloadSpec *s :
+                 WorkloadRegistry::global().all()) {
+                t.addRow({s->id, s->displayName, s->category,
+                          s->input, s->description});
+            }
+            t.print(std::cout);
+            return 0;
+        } else if (arg == "--workload") {
+            std::string name = next();
+            if (!findWorkloadSpec(name)) {
+                std::cerr << "rnuma_bench: unknown workload '"
+                          << name
+                          << "' (see --list-workloads)\n";
+                return 2;
+            }
+            workloads.push_back(name);
+        } else if (arg == "--runs") {
             const char *val = next();
             char *end = nullptr;
             long r = std::strtol(val, &end, 10);
@@ -250,6 +281,7 @@ main(int argc, char **argv)
 
     FigureOptions opt;
     opt.scale = scale;
+    opt.workloads = workloads;
     opt.intraJobs = intra_jobs;
     // One workload cache across every run of every figure: run 0
     // generates, runs 1..N-1 replay snapshots.

@@ -11,12 +11,17 @@
  *                        policy, description) and exit
  *   --list-networks      print the network registry (id, name,
  *                        description) and exit
+ *   --list-workloads     print the workload registry (id, name,
+ *                        category, input, description) and exit
  *   --protocol NAME      (repeatable) select registered protocols
  *                        for protocol-parametric figures (the
  *                        "policies" sweep); other figures ignore it
  *   --network NAME       (repeatable) select registered network
  *                        models for network-parametric figures (the
  *                        "scaling" sweep); other figures ignore it
+ *   --workload NAME      (repeatable) select registered workloads
+ *                        for workload-parametric figures (the
+ *                        "churn" sweep); other figures ignore it
  *   --scale S            workload scale (default: RNUMA_BENCH_SCALE
  *                        or 1)
  *   --jobs N             worker threads; 0 = hardware concurrency
@@ -28,7 +33,7 @@
  *                        tick-identical across N — gate with
  *                        --compare-events. Cells whose node count N
  *                        does not divide stay serial.
- *   --json-out FILE      write results as rnuma-sweep-results/v6 JSON
+ *   --json-out FILE      write results as rnuma-sweep-results/v7 JSON
  *   --csv-out FILE       write results as flat CSV
  *   --verify             re-run each sweep serially and assert
  *                        bit-identical RunStats
@@ -71,6 +76,7 @@
 #include "driver/result_sink.hh"
 #include "net/registry.hh"
 #include "proto/registry.hh"
+#include "workload/registry.hh"
 
 namespace
 {
@@ -85,12 +91,16 @@ usage(std::ostream &os, int status)
           "  --list               list figure names\n"
           "  --list-protocols     list the protocol registry\n"
           "  --list-networks      list the network registry\n"
+          "  --list-workloads     list the workload registry\n"
           "  --protocol NAME      (repeatable) select protocols for "
           "protocol-parametric\n"
           "                       figures (see 'policies')\n"
           "  --network NAME       (repeatable) select network models "
           "for network-parametric\n"
           "                       figures (see 'scaling')\n"
+          "  --workload NAME      (repeatable) select workloads for "
+          "workload-parametric\n"
+          "                       figures (see 'churn')\n"
           "  --scale S            workload scale (default: "
           "RNUMA_BENCH_SCALE or 1)\n"
           "  --jobs N             worker threads (0 = hardware "
@@ -99,7 +109,7 @@ usage(std::ostream &os, int status)
           "N logical processes\n"
           "                       (deterministic per N; gate with "
           "--compare-events)\n"
-          "  --json-out FILE      write rnuma-sweep-results/v6 JSON\n"
+          "  --json-out FILE      write rnuma-sweep-results/v7 JSON\n"
           "  --csv-out FILE       write flat CSV\n"
           "  --verify             assert serial/parallel RunStats "
           "are bit-identical\n"
@@ -158,6 +168,20 @@ listNetworks(std::ostream &os)
           "model)\n";
 }
 
+void
+listWorkloads(std::ostream &os)
+{
+    Table t({"id", "name", "category", "input", "description"});
+    for (const WorkloadSpec *s : WorkloadRegistry::global().all()) {
+        t.addRow({s->id, s->displayName, s->category, s->input,
+                  s->description});
+    }
+    t.print(os);
+    os << "\n(select with --workload, sweep them via the 'churn' "
+          "figure; serving\ngenerators take k=v options via "
+          "makeWorkload — see docs/ARCHITECTURE.md)\n";
+}
+
 /** Serialize, then re-parse as a malformed-output guard. */
 bool
 emitJson(const std::string &path,
@@ -213,6 +237,7 @@ main(int argc, char **argv)
     std::size_t intra_jobs = 1;
     std::vector<std::string> protocols;
     std::vector<std::string> networks;
+    std::vector<std::string> workloads;
     std::string json_out;
     std::string csv_out;
     std::string compare_path;
@@ -243,6 +268,8 @@ main(int argc, char **argv)
             return (listProtocols(std::cout), 0);
         else if (arg == "--list-networks")
             return (listNetworks(std::cout), 0);
+        else if (arg == "--list-workloads")
+            return (listWorkloads(std::cout), 0);
         else if (arg == "--protocol") {
             std::string name = next();
             if (!findProtocolSpec(name)) {
@@ -259,6 +286,14 @@ main(int argc, char **argv)
                 return 2;
             }
             networks.push_back(name);
+        } else if (arg == "--workload") {
+            std::string name = next();
+            if (!findWorkloadSpec(name)) {
+                std::cerr << "rnuma_sweep: unknown workload '"
+                          << name << "' (see --list-workloads)\n";
+                return 2;
+            }
+            workloads.push_back(name);
         } else if (arg == "--scale") {
             const char *val = next();
             char *end = nullptr;
@@ -368,6 +403,7 @@ main(int argc, char **argv)
     opt.scale = scale;
     opt.protocols = protocols;
     opt.networks = networks;
+    opt.workloads = workloads;
     opt.intraJobs = intra_jobs;
     // One process-scope snapshot store for the whole invocation, so
     // figures sharing a workload key generate it exactly once.
