@@ -91,6 +91,8 @@ RunStats::mergeFrom(const RunStats &shard)
     scomaAllocations += shard.scomaAllocations;
     scomaReplacements += shard.scomaReplacements;
     relocations += shard.relocations;
+    evictionsZeroHit += shard.evictionsZeroHit;
+    evictedPageHits += shard.evictedPageHits;
     busWait += shard.busWait;
     niWait += shard.niWait;
     osCycles += shard.osCycles;
@@ -123,6 +125,8 @@ RunStats::print(std::ostream &os) const
        << " allocations=" << scomaAllocations
        << " replacements=" << scomaReplacements
        << " relocations=" << relocations
+       << "\nevictionsZeroHit=" << evictionsZeroHit
+       << " evictedPageHits=" << evictedPageHits
        << "\nbusWait=" << busWait
        << " niWait=" << niWait
        << " osCycles=" << osCycles
@@ -171,7 +175,10 @@ operator==(const RunStats &a, const RunStats &b)
         a.pageFaults == b.pageFaults &&
         a.scomaAllocations == b.scomaAllocations &&
         a.scomaReplacements == b.scomaReplacements &&
-        a.relocations == b.relocations && a.busWait == b.busWait &&
+        a.relocations == b.relocations &&
+        a.evictionsZeroHit == b.evictionsZeroHit &&
+        a.evictedPageHits == b.evictedPageHits &&
+        a.busWait == b.busWait &&
         a.niWait == b.niWait && a.osCycles == b.osCycles &&
         a.stallCycles == b.stallCycles && a.net == b.net &&
         a.dirEntries == b.dirEntries && a.dirBits == b.dirBits &&

@@ -110,6 +110,14 @@ struct RunStats
     std::uint64_t scomaAllocations = 0;  ///< page-cache frame allocations
     std::uint64_t scomaReplacements = 0; ///< page-cache victimizations
     std::uint64_t relocations = 0;       ///< R-NUMA CC->S-COMA moves
+    /**
+     * Residency-utility observability (R-NUMA evictions only): how
+     * many victimized residencies earned zero page-cache hits — the
+     * pure ping-pong relocations the feedback policies exist to
+     * suppress — and the total hits evicted residencies served.
+     */
+    std::uint64_t evictionsZeroHit = 0;  ///< evictions that served 0 hits
+    std::uint64_t evictedPageHits = 0;   ///< hits served by evicted pages
 
     //--- Time decomposition ---------------------------------------------------
     Tick busWait = 0;   ///< cycles queued for the node buses

@@ -16,15 +16,26 @@
  *   onRefetch(page)   — one refetch on a CC-NUMA-mode page; the
  *                       return value decides relocation *now*
  *   onRelocated(page) — the OS moved the page into the page cache
- *   onEvicted(page)   — the page cache replaced the page; it reverts
- *                       to CC-NUMA on its next touch
+ *   onEvicted(page, residentHits)
+ *                     — the page cache replaced the page; it reverts
+ *                       to CC-NUMA on its next touch. residentHits is
+ *                       the number of page-cache hits the residency
+ *                       earned since relocation — the utility signal
+ *                       that distinguishes a relocation that paid off
+ *                       (thousands of hits before a phase boundary)
+ *                       from ping-pong (evicted before serving any).
  *
  * Implementations: StaticThresholdPolicy (the paper's rule, exactly
  * the pre-registry counter semantics), HysteresisPolicy (reverted
  * pages need a higher count to relocate again, suppressing
  * ping-pong), AdaptiveThresholdPolicy (per-page T halves on
- * relocation and escalates on relocate/evict ping-pong,
- * approximating the Eq 3 optimum online).
+ * relocation and escalates on relocate/evict ping-pong — all three
+ * ignore residentHits, keeping the paper-era systems bit-identical),
+ * plus the utility-aware rules that consume it:
+ * UtilityThresholdPolicy (escalate only below break-even, decay on
+ * profit), OnlineModelPolicy (re-estimates the Eq 3 optimum from the
+ * observed hit rate), EwmaUtilityPolicy (per-page EWMA utility
+ * score).
  */
 
 #ifndef RNUMA_CORE_RELOCATION_POLICY_HH
@@ -56,8 +67,13 @@ class RelocationPolicy
     /** The page was relocated into the page cache. */
     virtual void onRelocated(Addr page) = 0;
 
-    /** The page was evicted from the page cache (reverts to CC-NUMA). */
-    virtual void onEvicted(Addr page) = 0;
+    /**
+     * The page was evicted from the page cache (reverts to CC-NUMA).
+     * @param residentHits page-cache hits the residency earned since
+     *        relocation — the utility signal. Policies that predate
+     *        the feedback channel ignore it.
+     */
+    virtual void onEvicted(Addr page, std::uint64_t residentHits) = 0;
 
     /** Drop all per-page state for @p page (unmap). */
     virtual void reset(Addr page) = 0;
@@ -96,7 +112,7 @@ class StaticThresholdPolicy : public RelocationPolicy
     bool onRefetch(Addr page) override;
     bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
-    void onEvicted(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
     void reset(Addr page) override;
     std::uint64_t count(Addr page) const override;
     std::size_t trackedPages() const override;
@@ -134,7 +150,7 @@ class HysteresisPolicy : public RelocationPolicy
     bool onRefetch(Addr page) override;
     bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
-    void onEvicted(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
     void reset(Addr page) override;
     std::uint64_t count(Addr page) const override;
     std::size_t trackedPages() const override;
@@ -170,9 +186,10 @@ class HysteresisPolicy : public RelocationPolicy
  * threshold is only consulted between relocation and eviction
  * (refetches fire for non-resident pages only), so in-machine the
  * policy is monotone back-off per page: it bounds the adversary's
- * churn but does not yet reward relocations that paid off — that
- * would need page-cache-hit feedback the RelocationPolicy
- * interface does not carry (see ROADMAP).
+ * churn but never rewards relocations that paid off — it ignores
+ * the residentHits feedback by design (ROADMAP item 4's diagnosis,
+ * preserved for bit-identity with the PR 4 figures). The policies
+ * below it consume the signal instead.
  */
 class AdaptiveThresholdPolicy : public RelocationPolicy
 {
@@ -184,7 +201,7 @@ class AdaptiveThresholdPolicy : public RelocationPolicy
     bool onRefetch(Addr page) override;
     bool wouldFire(Addr page) const override;
     void onRelocated(Addr page) override;
-    void onEvicted(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
     void reset(Addr page) override;
     std::uint64_t count(Addr page) const override;
     std::size_t trackedPages() const override;
@@ -208,6 +225,167 @@ class AdaptiveThresholdPolicy : public RelocationPolicy
      * at minThreshold.
      */
     std::unordered_map<Addr, std::size_t> entryT;
+};
+
+/**
+ * Utility-aware per-page threshold: escalate only when the residency
+ * was *wasted*. The break-even hit count is the Eq 3 cost ratio
+ * C_allocate / C_refetch (T* on the base machine, ~19): a residency
+ * that served at least that many page-cache hits amortized its page
+ * operations, so its eviction is evidence the page is worth
+ * relocating *eagerly* — the threshold drops to at most half the
+ * break-even and keeps halving on repeated profitable residencies
+ * (floor-clamped). An eviction below break-even is ping-pong
+ * evidence and doubles the page's threshold (cap-clamped), exactly
+ * the adaptive rule's defense. Unlike AdaptiveThresholdPolicy,
+ * relocation itself is not an event — only the measured outcome
+ * moves the threshold.
+ */
+class UtilityThresholdPolicy : public RelocationPolicy
+{
+  public:
+    /**
+     * @param initialThreshold per-page starting T (base: 64)
+     * @param minThreshold decay floor
+     * @param maxThreshold escalation cap
+     * @param breakEvenHits resident hits at which a residency pays
+     *        for its page operations (Eq 3: C_allocate / C_refetch)
+     */
+    UtilityThresholdPolicy(std::size_t initialThreshold,
+                           std::size_t minThreshold,
+                           std::size_t maxThreshold,
+                           std::uint64_t breakEvenHits);
+
+    bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** The threshold currently governing @p page. */
+    std::size_t thresholdOf(Addr page) const;
+
+    /** Configured break-even hit count. */
+    std::uint64_t breakEven() const { return breakEvenHits; }
+
+  private:
+    std::size_t initialT;
+    std::size_t minT;
+    std::size_t maxT;
+    std::uint64_t breakEvenHits;
+    std::unordered_map<Addr, std::uint64_t> counts;
+    std::unordered_map<Addr, std::size_t> perPageT;
+};
+
+/**
+ * Online re-estimation of the Eq 3 optimum — the dynamic version of
+ * the registry's `rnuma-model` spec. The static model picks
+ * T* = C_allocate / C_refetch assuming every relocation is wasted
+ * (the competitive worst case). Online, the machine can observe how
+ * wasted relocations actually are: the policy keeps an EWMA h of
+ * residentHits over evictions and sets the single global threshold
+ *
+ *   T = clamp(round(T* - h), minThreshold, maxThreshold)
+ *
+ * — each resident hit a residency is expected to earn is one
+ * refetch's worth of cost already repaid, so the bar drops one-for-
+ * one until, at h >= T*, relocation is known-profitable and fires at
+ * the floor. With no eviction history the policy *is* rnuma-model
+ * (h = 0, T = round(T*)), and on a stationary zero-reuse stream it
+ * converges back to it. The EWMA only moves in onEvicted, so
+ * wouldFire stays an exact probe between evictions.
+ */
+class OnlineModelPolicy : public RelocationPolicy
+{
+  public:
+    /**
+     * @param optimalThreshold the analytic T* (AnalyticModel::
+     *        optimalThreshold() on the configured machine)
+     * @param minThreshold clamp floor (>= 1)
+     * @param maxThreshold clamp cap
+     */
+    OnlineModelPolicy(double optimalThreshold, std::size_t minThreshold,
+                      std::size_t maxThreshold);
+
+    bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** The global threshold currently in force. */
+    std::size_t threshold() const { return curT; }
+
+    /** Current EWMA of resident hits per eviction. */
+    double estimatedHits() const { return avgHits; }
+
+  private:
+    void reestimate();
+
+    double tStar;
+    std::size_t minT;
+    std::size_t maxT;
+    double avgHits = 0.0; ///< EWMA (alpha = 1/8) of residentHits
+    std::size_t curT;
+    std::unordered_map<Addr, std::uint64_t> counts;
+};
+
+/**
+ * Per-page EWMA utility score. Each eviction grades its residency as
+ * u_obs = min(1, residentHits / breakEven) — 0 is pure ping-pong, 1
+ * fully amortized — and folds it into a per-page score
+ * u' = (1 - alpha) u + alpha u_obs, seeded at 0.5 (no evidence). The
+ * page's threshold interpolates linearly between the cap (u = 0,
+ * distrust) and the floor (u = 1, trust):
+ *
+ *   T_p = round(maxThreshold + u * (minThreshold - maxThreshold))
+ *
+ * so the no-evidence midpoint is (min + max) / 2 and the registry
+ * picks min/max to land that at the configured base T. The score only
+ * moves in onEvicted (and drops on reset), so wouldFire stays exact;
+ * only IEEE +,*,/ arithmetic is used, keeping results deterministic
+ * across platforms.
+ */
+class EwmaUtilityPolicy : public RelocationPolicy
+{
+  public:
+    /**
+     * @param minThreshold threshold at utility 1 (full trust)
+     * @param maxThreshold threshold at utility 0 (full distrust)
+     * @param breakEvenHits resident hits worth full marks (Eq 3)
+     * @param alpha EWMA gain in (0, 1]
+     */
+    EwmaUtilityPolicy(std::size_t minThreshold, std::size_t maxThreshold,
+                      std::uint64_t breakEvenHits, double alpha);
+
+    bool onRefetch(Addr page) override;
+    bool wouldFire(Addr page) const override;
+    void onRelocated(Addr page) override;
+    void onEvicted(Addr page, std::uint64_t residentHits) override;
+    void reset(Addr page) override;
+    std::uint64_t count(Addr page) const override;
+    std::size_t trackedPages() const override;
+    std::string describe() const override;
+
+    /** The threshold currently governing @p page. */
+    std::size_t thresholdOf(Addr page) const;
+
+    /** Current utility score for @p page (0.5 with no evidence). */
+    double utilityOf(Addr page) const;
+
+  private:
+    std::size_t minT;
+    std::size_t maxT;
+    std::uint64_t breakEvenHits;
+    double alpha;
+    std::unordered_map<Addr, std::uint64_t> counts;
+    std::unordered_map<Addr, double> utility;
 };
 
 } // namespace rnuma

@@ -177,7 +177,7 @@ ResultDoc
 resultsOf(const std::vector<FigureRun> &runs)
 {
     ResultDoc out;
-    out.schema = "rnuma-sweep-results/v7";
+    out.schema = "rnuma-sweep-results/v8";
     for (const FigureRun &run : runs) {
         ResultFigure f;
         f.name = run.name;
@@ -233,6 +233,14 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
     // informational only.
     bool workloadComparable =
         baseline.version() >= 7 && current.version() >= 7;
+    // Pre-v8 documents carried no residency-feedback counters, so a
+    // difference against them is informational only. (Absent keys
+    // never diff: the check below requires the counter on both
+    // sides.)
+    bool feedbackComparable =
+        baseline.version() >= 8 && current.version() >= 8;
+    static const char *const feedbackCounters[] = {
+        "evictions_zero_hit", "evicted_page_hits"};
 
     for (const ResultFigure &bf : baseline.figures) {
         const ResultFigure *cf = current.find(bf.name);
@@ -325,6 +333,28 @@ compareResults(const ResultDoc &baseline, const ResultDoc &current,
                 } else {
                     os << "note: " << msg
                        << " — pre-v7 baseline, no workload ids\n";
+                }
+            }
+            for (const char *name : feedbackCounters) {
+                auto bit = bc.counters.find(name);
+                auto cit = cc->counters.find(name);
+                if (bit == bc.counters.end() ||
+                    cit == cc->counters.end())
+                    continue; // pre-v8 side: counter absent
+                if (bit->second == cit->second)
+                    continue;
+                std::string msg = bf.name + "/" + bc.app + "/" +
+                    bc.config + ": " + name +
+                    " drifted (baseline " +
+                    std::to_string(bit->second) + ", current " +
+                    std::to_string(cit->second) + ")";
+                if (feedbackComparable) {
+                    fail(msg);
+                    figure_drift++;
+                } else {
+                    os << "note: " << msg
+                       << " — pre-v8 document, feedback counters "
+                          "not comparable\n";
                 }
             }
         }

@@ -1154,6 +1154,94 @@ renderStormCliff(const FigureRun &run, std::ostream &os)
     return 0;
 }
 
+//--------------------------------------------------------------------------
+// Feedback: phase-shift step x every relocation policy. The
+// phase-shift generator rotates its hot window by pages/phases pages
+// per phase, so sweeping the phase count varies the churn *step* —
+// from full-window replacement (pages/phases >= window) down to
+// gentle drift — on a fixed page pool. Each step runs the baseline
+// plus every selected protocol; the v8 residency-feedback counters
+// (evictions_zero_hit / evicted_page_hits) make visible what the
+// utility-aware policies react to: how many of each policy's
+// evictions were pure ping-pong.
+//--------------------------------------------------------------------------
+
+/**
+ * The step axis: phase counts for the generator's default 240-page
+ * pool. 3 phases = 80-page steps (the window replaced wholesale),
+ * 6 = the churn figure's default, 12 = 20-page drift.
+ */
+const char *const feedbackPhases[] = {"3", "6", "12"};
+
+Sweep
+buildFeedback(const FigureOptions &opt)
+{
+    Sweep s("feedback");
+    Params p = Params::base();
+    double scale = opt.scale;
+    std::vector<std::string> ids = selectedProtocolIds(opt);
+    Params inf = p;
+    inf.infiniteBlockCache = true;
+    for (const char *phases : feedbackPhases) {
+        std::string row = std::string("shift-p") + phases;
+        // A fixed sweep count (not the generator's scaled default):
+        // separation needs residencies long enough for capacity
+        // refetches to cross the thresholds at *every* scale — the
+        // CI ordering check runs this figure at scale 0.1.
+        std::string options =
+            std::string("phases=") + phases + ",sweeps=96";
+        WorkloadFactory make = [p, scale, options] {
+            return makeWorkload("phase-shift", p, scale, 1, options);
+        };
+        // The phase count is a generator option, not a Params field,
+        // so it must participate in the cache key by name (the
+        // serving figure's theta convention).
+        std::string key = workloadCacheKey("phase-shift/" + options,
+                                           p, scale);
+        s.add({row, "baseline", protocolSpec("ccnuma"), inf, make,
+               key, "phase-shift"});
+        for (const std::string &id : ids)
+            s.add({row, id, protocolSpec(id), p, make, key,
+                   "phase-shift"});
+    }
+    return s;
+}
+
+int
+renderFeedback(const FigureRun &run, std::ostream &os)
+{
+    Table t({"step", "protocol", "policy", "normalized time",
+             "relocations", "zero-hit evictions",
+             "evicted-page hits"});
+    Params p = Params::base();
+    for (const CellResult &c : run.result.cells) {
+        if (c.config == "baseline")
+            continue;
+        const ProtocolSpec *spec = findProtocolSpec(c.protocol);
+        std::string policy = spec && spec->makePolicy
+            ? spec->makePolicy(p)->describe() : "-";
+        t.addRow({c.app,
+                  c.protocolName.empty() ? c.protocol
+                                         : c.protocolName,
+                  policy,
+                  Table::num(normTo(run.result, c.app, c.config)),
+                  std::to_string(c.stats.relocations),
+                  std::to_string(c.stats.evictionsZeroHit),
+                  std::to_string(c.stats.evictedPageHits)});
+    }
+    t.print(os);
+    os << "\nreading the result: every eviction that shows up under "
+          "zero-hit evictions\nwas a relocation that never paid — "
+          "the page was victimized before serving a\nsingle page-"
+          "cache hit. The pre-feedback policies (static, hysteresis, "
+          "adaptive,\nmodel) cannot see that signal; the utility, "
+          "online-model and ewma rows\nconsume it, so their "
+          "relocation counts and normalized times should "
+          "separate\nas the step shrinks and residencies start "
+          "paying off.\n";
+    return 0;
+}
+
 } // namespace
 
 const std::vector<FigureSpec> &
@@ -1226,6 +1314,12 @@ figureSpecs()
          "Falsafi & Wood, ISCA'97, Section 3.2 (the ping-pong worst "
          "case, embodied)",
          &buildStormCliff, &renderStormCliff},
+        {"feedback",
+         "Feedback: phase-shift step x every relocation policy "
+         "(residency utility)",
+         "Falsafi & Wood, ISCA'97, Section 3 (the threshold rule, "
+         "made utility-aware)",
+         &buildFeedback, &renderFeedback},
     };
     return specs;
 }

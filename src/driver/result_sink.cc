@@ -34,8 +34,12 @@ namespace
 // the generator behind the cell ("barnes", "zipf-serve", ...; ""
 // for an ad-hoc factory). Pre-v7 cells carried no workload ids, so
 // the gate treats a workload mismatch against older baselines as a
-// note, not a violation.
-constexpr const char *schemaName = "rnuma-sweep-results/v7";
+// note, not a violation. v8 adds the residency-feedback counters
+// "evictions_zero_hit" / "evicted_page_hits" (how wasted the
+// evicted relocations were); they are absent from pre-v8 baselines,
+// so the gate only enforces them when both documents are v8+ and
+// reports pre-v8 differences as notes.
+constexpr const char *schemaName = "rnuma-sweep-results/v8";
 
 std::uint64_t
 remotePages(const RunStats &s)
@@ -98,6 +102,10 @@ statFields()
          [](const RunStats &s) { return s.scomaReplacements; }},
         {"relocations",
          [](const RunStats &s) { return s.relocations; }},
+        {"evictions_zero_hit",
+         [](const RunStats &s) { return s.evictionsZeroHit; }},
+        {"evicted_page_hits",
+         [](const RunStats &s) { return s.evictedPageHits; }},
         {"bus_wait", [](const RunStats &s) { return s.busWait; }},
         {"ni_wait", [](const RunStats &s) { return s.niWait; }},
         {"os_cycles", [](const RunStats &s) { return s.osCycles; }},

@@ -138,6 +138,69 @@ ProtocolRegistry::ProtocolRegistry()
             return std::unique_ptr<RelocationPolicy>(
                 std::make_unique<StaticThresholdPolicy>(t));
         }));
+
+    // The utility-aware family: policies that consume the
+    // residentHits feedback RNumaRad delivers at eviction. All three
+    // anchor their notion of "profitable residency" to the same Eq 3
+    // cost ratio the rnuma-model spec uses: a residency that served
+    // T* = C_alloc / C_refetch page-cache hits repaid its page
+    // operations.
+
+    add(hybridSpec(
+        "rnuma-utility", "R-NUMA(utility)",
+        "hybrid RAD; evictions escalate the per-page threshold only "
+        "below the Eq 3 break-even hit count — profitable "
+        "residencies decay it instead",
+        [](const Params &p) {
+            std::size_t t = p.relocationThreshold;
+            std::size_t lo = t / 16 < 1 ? 1 : t / 16;
+            AnalyticModel model(ModelParams::fromSystem(
+                p, p.blocksPerPage() / 2));
+            auto be = static_cast<std::uint64_t>(
+                std::llround(model.optimalThreshold()));
+            if (be < 1)
+                be = 1;
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<UtilityThresholdPolicy>(t, lo, 16 * t,
+                                                         be));
+        }));
+
+    add(hybridSpec(
+        "rnuma-online-model", "R-NUMA(online)",
+        "hybrid RAD; re-estimates the Eq 3 optimum online — the "
+        "global threshold is T* minus the observed EWMA of resident "
+        "hits per eviction",
+        [](const Params &p) {
+            AnalyticModel model(ModelParams::fromSystem(
+                p, p.blocksPerPage() / 2));
+            double tStar = model.optimalThreshold();
+            if (tStar < 1.0)
+                tStar = 1.0;
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<OnlineModelPolicy>(
+                    tStar, 1, 16 * p.relocationThreshold));
+        }));
+
+    add(hybridSpec(
+        "rnuma-ewma", "R-NUMA(ewma)",
+        "hybrid RAD; per-page EWMA utility score (resident hits vs "
+        "the Eq 3 break-even) interpolates the threshold between "
+        "trust and distrust",
+        [](const Params &p) {
+            std::size_t t = p.relocationThreshold;
+            std::size_t lo = t / 16 < 1 ? 1 : t / 16;
+            // min + max = 2t, so the no-evidence midpoint threshold
+            // is exactly the configured base T.
+            std::size_t hi = 2 * t - lo;
+            AnalyticModel model(ModelParams::fromSystem(
+                p, p.blocksPerPage() / 2));
+            auto be = static_cast<std::uint64_t>(
+                std::llround(model.optimalThreshold()));
+            if (be < 1)
+                be = 1;
+            return std::unique_ptr<RelocationPolicy>(
+                std::make_unique<EwmaUtilityPolicy>(lo, hi, be, 0.5));
+        }));
 }
 
 ProtocolRegistry &

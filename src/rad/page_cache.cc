@@ -12,6 +12,7 @@ PageCache::PageCache(std::size_t frames, std::size_t blocks_per_page)
     RNUMA_ASSERT(blocksPerPage >= 1, "page needs at least one block");
     tags_.assign(capacity * blocksPerPage, FineTag::Invalid);
     valid_.assign(capacity, 0);
+    hits_.assign(capacity, 0);
     pageOf_.assign(capacity, 0);
     prev_.assign(capacity, npos);
     next_.assign(capacity, npos);
@@ -87,6 +88,7 @@ PageCache::insert(Addr page)
     for (std::size_t i = 0; i < blocksPerPage; ++i)
         t[i] = FineTag::Invalid;
     valid_[f] = 0;
+    hits_[f] = 0;
     pageOf_[f] = page;
     byPage.emplace(page, f);
     linkTail(f);
@@ -114,6 +116,18 @@ PageCache::recordMiss(Addr page)
         return; // already most recently missed
     unlink(f);
     linkTail(f);
+}
+
+void
+PageCache::recordHit(Addr page)
+{
+    hits_[frameOf(page)]++;
+}
+
+std::uint64_t
+PageCache::hitsOf(Addr page) const
+{
+    return hits_[frameOf(page)];
 }
 
 FineTag

@@ -71,6 +71,16 @@ class PageCache
      */
     void recordMiss(Addr page);
 
+    /**
+     * Record one locally-satisfied access on a cached page — the
+     * residency-utility signal. Pure bookkeeping: the LRM order and
+     * all timing are untouched.
+     */
+    void recordHit(Addr page);
+
+    /** Hits recorded against @p page since it was inserted. */
+    std::uint64_t hitsOf(Addr page) const;
+
     /** Fine-grain tag of block @p idx of @p page. */
     FineTag tag(Addr page, std::size_t idx) const;
 
@@ -104,6 +114,7 @@ class PageCache
     std::size_t blocksPerPage;
     std::vector<FineTag> tags_;        ///< capacity * blocksPerPage
     std::vector<std::uint32_t> valid_; ///< valid tags per frame
+    std::vector<std::uint64_t> hits_;  ///< hits since insert, per frame
     std::vector<Addr> pageOf_;         ///< page cached in each frame
     std::vector<std::uint32_t> prev_;  ///< LRM links (npos = end)
     std::vector<std::uint32_t> next_;

@@ -44,10 +44,17 @@ RNumaRad::relocate(Tick now, Addr page)
     if (pc.full()) {
         Addr victim = pc.lrmVictim();
         std::size_t flushed = flushPage(t, victim);
+        // Read the residency's hit count before the frame is
+        // recycled: it is the utility signal the policy learns from
+        // and the wasted-relocation observability counters record.
+        std::uint64_t hits = pc.hitsOf(victim);
         pc.erase(victim);
         d.pageTable.unmap(victim);
-        policy_->onEvicted(victim);
+        policy_->onEvicted(victim, hits);
         d.stats.scomaReplacements++;
+        d.stats.evictedPageHits += hits;
+        if (hits == 0)
+            d.stats.evictionsZeroHit++;
         t = d.vm.chargeAllocation(t, flushed);
     }
     pc.insert(page);
@@ -145,6 +152,7 @@ RNumaRad::pagePath(Tick now, Addr addr, bool write)
         (tag == FineTag::ReadOnly && !write)) {
         Tick done = d.memory.access(now + p.sramAccess, addr);
         d.stats.pageCacheHits++;
+        pc.recordHit(page);
         return {done, ServiceKind::PageCache,
                 write ? CacheState::Modified : CacheState::Shared};
     }
@@ -265,7 +273,14 @@ RNumaRad::accessConfined(Addr addr, bool write, NodeId lo,
 
     if (d.pageTable.modeOf(page) == PageMode::SComa) {
         // pagePath: the page is resident, so no allocation or
-        // replacement can trigger — only the tag decides.
+        // replacement can trigger — only the tag decides. The hit
+        // bookkeeping a confined page-cache hit performs
+        // (PageCache::recordHit) mutates only this node's own frame
+        // arena, so it needs no home check; likewise the residency
+        // feedback delivered at eviction (policy onEvicted with the
+        // hit count) touches only this node's policy state — the
+        // victim-home probe below already defers the eviction's
+        // *flush* traffic, which is the only cross-node effect.
         FineTag tag = pc.tag(page, blockIndex(addr));
         if (tag == FineTag::ReadWrite ||
             (tag == FineTag::ReadOnly && !write))

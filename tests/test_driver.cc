@@ -176,7 +176,7 @@ TEST(JsonRoundTrip, SmallSweepSurvivesWriteAndParse)
 
     ASSERT_TRUE(doc.isObject());
     ASSERT_NE(doc.get("schema"), nullptr);
-    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v7");
+    EXPECT_EQ(doc.get("schema")->str, "rnuma-sweep-results/v8");
 
     const JsonValue *figures = doc.get("figures");
     ASSERT_NE(figures, nullptr);
@@ -488,7 +488,7 @@ TEST(CompareGate, LoadResultsRoundTripsTheJsonSink)
     std::ostringstream os;
     JsonSink().write(os, {run});
     ResultDoc loaded = loadResults(os.str());
-    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v7");
+    EXPECT_EQ(loaded.schema, "rnuma-sweep-results/v8");
     ResultDoc direct = resultsOf({run});
     EXPECT_EQ(loaded.figures[0].protocols,
               direct.figures[0].protocols);
@@ -673,6 +673,50 @@ TEST(CompareGate, ReconstructsProtocolsForPreV4Baselines)
     EXPECT_EQ(compareResults(base, cur, CompareOptions{-1}, os), 0u);
 }
 
+TEST(CompareGate, FeedbackCountersGateOnlyBetweenV8Documents)
+{
+    // v8 added the residency-feedback counters. Between two v8
+    // documents a drift is a violation; against a v7-shaped
+    // baseline (counters absent) the check degrades to a note so
+    // old perf baselines keep passing.
+    const char *v8 =
+        "{\"schema\": \"rnuma-sweep-results/v8\", \"figures\": ["
+        "{\"name\": \"small\", \"scale\": 0.05, \"jobs\": 1,"
+        " \"wall_ms\": 10.0, \"status\": 0, \"cells\": ["
+        "{\"app\": \"moldyn\", \"config\": \"rnuma\","
+        " \"protocol\": \"rnuma\", \"wall_ms\": 1.0,"
+        " \"stats\": {\"ticks\": 42, \"evictions_zero_hit\": 3,"
+        " \"evicted_page_hits\": 90}}]}]}";
+    ResultDoc base = loadResults(v8);
+    ASSERT_EQ(base.version(), 8);
+
+    ResultDoc cur = base;
+    cur.figures[0].cells[0].counters["evictions_zero_hit"] = 5;
+    std::ostringstream os;
+    EXPECT_EQ(compareResults(base, cur, CompareOptions{-1}, os), 1u);
+    EXPECT_NE(os.str().find("evictions_zero_hit drifted"),
+              std::string::npos);
+
+    // Same drift against a v7 baseline without the counters: the
+    // keys are absent on one side, so nothing diffs at all.
+    ResultDoc old = base;
+    old.schema = "rnuma-sweep-results/v7";
+    old.figures[0].cells[0].counters.erase("evictions_zero_hit");
+    old.figures[0].cells[0].counters.erase("evicted_page_hits");
+    std::ostringstream os2;
+    EXPECT_EQ(compareResults(old, cur, CompareOptions{-1}, os2), 0u);
+
+    // A v7 baseline that somehow carries the counters (hand-edited
+    // or transitional): a mismatch is reported, but as a note.
+    ResultDoc noted = base;
+    noted.schema = "rnuma-sweep-results/v7";
+    std::ostringstream os3;
+    EXPECT_EQ(compareResults(noted, cur, CompareOptions{-1}, os3),
+              0u);
+    EXPECT_NE(os3.str().find("feedback counters not comparable"),
+              std::string::npos);
+}
+
 TEST(CompareGate, RejectsForeignJson)
 {
     EXPECT_THROW(loadResults("{\"schema\": \"other/v1\"}"),
@@ -723,10 +767,10 @@ TEST(JsonParser, HandlesEscapesAndNumbers)
               "\"a\\\"b\\\\c\\n\\t\"");
 }
 
-TEST(FigureRegistry, HasAllFifteenFiguresWithUniqueNames)
+TEST(FigureRegistry, HasAllSixteenFiguresWithUniqueNames)
 {
     const auto &specs = figureSpecs();
-    EXPECT_EQ(specs.size(), 15u);
+    EXPECT_EQ(specs.size(), 16u);
     for (const FigureSpec &a : specs) {
         std::size_t count = 0;
         for (const FigureSpec &b : specs)
@@ -816,6 +860,44 @@ TEST(FigureRegistry, EvictionStormSeparatesThePoliciesAtCiScale)
     // in-cache pattern.
     EXPECT_EQ(run.result.at("hot-reuse", "rnuma").stats,
               run.result.at("hot-reuse", "rnuma-hysteresis").stats);
+}
+
+TEST(FigureRegistry, FeedbackPolicyBeatsTheClassicsOnPhaseShift)
+{
+    // The point of the residency-feedback channel: a policy that
+    // learns from eviction outcomes must beat every pre-feedback
+    // policy on the phase-shift workload at exactly the CI
+    // figure-pipeline scale. The online-model policy lowers its
+    // global threshold as evictions report healthy residencies, so
+    // it relocates earlier than the classics once phases churn.
+    FigureOptions opt;
+    opt.scale = 0.1;
+    opt.protocols = {"rnuma", "rnuma-hysteresis", "rnuma-adaptive",
+                     "rnuma-model", "rnuma-online-model"};
+    const FigureSpec *spec = findFigure("feedback");
+    ASSERT_NE(spec, nullptr);
+    FigureRun run = runFigure(*spec, opt, 0, /*verify=*/false);
+
+    // The fastest-churning row shows the widest separation.
+    const RunStats &stat =
+        run.result.at("shift-p12", "rnuma").stats;
+    const RunStats &hyst =
+        run.result.at("shift-p12", "rnuma-hysteresis").stats;
+    const RunStats &adapt =
+        run.result.at("shift-p12", "rnuma-adaptive").stats;
+    const RunStats &model =
+        run.result.at("shift-p12", "rnuma-model").stats;
+    const RunStats &online =
+        run.result.at("shift-p12", "rnuma-online-model").stats;
+    EXPECT_LT(online.ticks, stat.ticks);
+    EXPECT_LT(online.ticks, hyst.ticks);
+    EXPECT_LT(online.ticks, adapt.ticks);
+    EXPECT_LT(online.ticks, model.ticks);
+
+    // The win comes from actually relocating, and the feedback
+    // counters flow all the way into the figure's cells.
+    EXPECT_GT(online.relocations, 0u);
+    EXPECT_GT(online.evictedPageHits, 0u);
 }
 
 TEST(FigureRegistry, Fig8IsAPolicySweepOverStaticThresholds)

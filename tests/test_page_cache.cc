@@ -104,6 +104,41 @@ TEST(PageCache, ForEachValidVisitsTaggedBlocks)
     EXPECT_EQ(seen[1].second, FineTag::ReadWrite);
 }
 
+TEST(PageCache, HitCountersAccumulatePerResidency)
+{
+    PageCache pc(2, 8);
+    pc.insert(5);
+    EXPECT_EQ(pc.hitsOf(5), 0u);
+    pc.recordHit(5);
+    pc.recordHit(5);
+    pc.recordHit(5);
+    EXPECT_EQ(pc.hitsOf(5), 3u);
+    // Hits are per page, not per cache.
+    pc.insert(9);
+    EXPECT_EQ(pc.hitsOf(9), 0u);
+    pc.recordHit(9);
+    EXPECT_EQ(pc.hitsOf(5), 3u);
+    EXPECT_EQ(pc.hitsOf(9), 1u);
+}
+
+TEST(PageCache, FrameReuseResetsTheHitCounter)
+{
+    // The counter measures one residency: when a frame is recycled
+    // for a new page the old page's hits must not leak into it.
+    PageCache pc(1, 8);
+    pc.insert(1);
+    pc.recordHit(1);
+    pc.recordHit(1);
+    EXPECT_EQ(pc.hitsOf(1), 2u);
+    pc.erase(1);
+    pc.insert(2); // same frame as page 1
+    EXPECT_EQ(pc.hitsOf(2), 0u);
+    // And a round trip of the same page starts from zero again.
+    pc.erase(2);
+    pc.insert(1);
+    EXPECT_EQ(pc.hitsOf(1), 0u);
+}
+
 TEST(PageCache, MisuseIsDetected)
 {
     PageCache pc(1, 4);
@@ -113,6 +148,8 @@ TEST(PageCache, MisuseIsDetected)
     EXPECT_THROW(pc.erase(3), std::logic_error);   // absent
     EXPECT_THROW(pc.tag(2, 0), std::logic_error);  // absent
     EXPECT_THROW(pc.tag(1, 99), std::logic_error); // bad index
+    EXPECT_THROW(pc.hitsOf(2), std::logic_error);  // absent
+    EXPECT_THROW(pc.recordHit(2), std::logic_error); // absent
 }
 
 TEST(PageCache, VictimFromEmptyPanics)

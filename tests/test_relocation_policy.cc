@@ -4,14 +4,22 @@
  * generalized): the StaticThresholdPolicy's exact-threshold firing
  * (including bit-identity against an inline oracle replicating the
  * pre-registry ReactivePolicy counter semantics), the
- * HysteresisPolicy's ping-pong suppression, and the
- * AdaptiveThresholdPolicy's per-page threshold convergence.
+ * HysteresisPolicy's ping-pong suppression, the
+ * AdaptiveThresholdPolicy's per-page threshold convergence, the
+ * residency-feedback family (utility / online-model / ewma), and the
+ * registry-wide wouldFire <-> onRefetch consistency contract the
+ * parallel engine's confinement probe depends on.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/params.hh"
 #include "common/rng.hh"
+#include "core/analytic_model.hh"
 #include "core/relocation_policy.hh"
+#include "proto/registry.hh"
 
 namespace rnuma
 {
@@ -57,7 +65,7 @@ TEST(StaticThreshold, LifecycleNotificationsClearTheCounter)
     rp.onRelocated(6);
     EXPECT_EQ(rp.count(6), 0u);
     rp.onRefetch(7);
-    rp.onEvicted(7);
+    rp.onEvicted(7, 0);
     EXPECT_EQ(rp.count(7), 0u);
 }
 
@@ -138,7 +146,7 @@ TEST(StaticThreshold, BitIdenticalToPreRefactorOracle)
             rp.onRelocated(page);
             oracle.reset(page);
         } else {
-            rp.onEvicted(page);
+            rp.onEvicted(page, 0);
             oracle.reset(page);
         }
     }
@@ -162,7 +170,7 @@ TEST(Hysteresis, RevertedPagesDoNotPingPong)
     hp.onRefetch(1);
     EXPECT_TRUE(hp.onRefetch(1));
     hp.onRelocated(1);
-    hp.onEvicted(1);
+    hp.onEvicted(1, 0);
     EXPECT_EQ(hp.thresholdOf(1), 6u);
     // The base threshold no longer fires...
     EXPECT_FALSE(hp.onRefetch(1));
@@ -182,7 +190,7 @@ TEST(Policies, TrackedPagesCountsAllLiveState)
     // A reverted mark / adapted threshold is live per-page state
     // even with no pending refetch counter.
     HysteresisPolicy hp(2, 6);
-    hp.onEvicted(1);
+    hp.onEvicted(1, 0);
     EXPECT_EQ(hp.trackedPages(), 1u);
     hp.onRefetch(1); // same page: still one
     hp.onRefetch(2); // new counter
@@ -205,7 +213,7 @@ TEST(Policies, TrackedPagesCountsAllLiveState)
 TEST(Hysteresis, ResetForgetsTheRevertedState)
 {
     HysteresisPolicy hp(2, 6);
-    hp.onEvicted(1);
+    hp.onEvicted(1, 0);
     EXPECT_EQ(hp.thresholdOf(1), 6u);
     hp.reset(1); // unmap: page identity is recycled
     EXPECT_EQ(hp.thresholdOf(1), 2u);
@@ -232,11 +240,11 @@ TEST(Adaptive, ThresholdHalvesOnRelocationDownToTheFloor)
 TEST(Adaptive, ThresholdDoublesOnEvictionUpToTheCap)
 {
     AdaptiveThresholdPolicy ap(16, 2, 64);
-    ap.onEvicted(1);
+    ap.onEvicted(1, 0);
     EXPECT_EQ(ap.thresholdOf(1), 32u);
-    ap.onEvicted(1);
+    ap.onEvicted(1, 0);
     EXPECT_EQ(ap.thresholdOf(1), 64u);
-    ap.onEvicted(1);
+    ap.onEvicted(1, 0);
     EXPECT_EQ(ap.thresholdOf(1), 64u); // clamped at the cap
 }
 
@@ -262,7 +270,7 @@ TEST(Adaptive, PingPongEscalatesTheReentryBar)
         }
         previous = fired_after;
         ap.onRelocated(7);
-        ap.onEvicted(7);
+        ap.onEvicted(7, 0);
     }
     // Escalation is capped: 16 -> 32 -> 64 -> 64.
     EXPECT_EQ(ap.thresholdOf(7), 64u);
@@ -280,7 +288,7 @@ TEST(Adaptive, StickyRelocationKeepsTheHalvedThreshold)
     // Ping-pong (relocate then evict) escalates instead: 2x the
     // pre-relocation threshold, not a wash.
     ap.onRelocated(9);
-    ap.onEvicted(9);
+    ap.onEvicted(9, 0);
     EXPECT_EQ(ap.thresholdOf(9), 32u);
 }
 
@@ -295,7 +303,7 @@ TEST(Adaptive, EscalationIsExactWhenTheHalveClampedAtTheFloor)
     ap.onRelocated(7); // 8 -> 4
     ap.onRelocated(7); // entry 4, clamped at the floor: stays 4
     EXPECT_EQ(ap.thresholdOf(7), 4u);
-    ap.onEvicted(7);
+    ap.onEvicted(7, 0);
     EXPECT_EQ(ap.thresholdOf(7), 8u); // 2 x 4, not 4 x 4
 }
 
@@ -307,7 +315,7 @@ TEST(Adaptive, PureReuseConvergesToTheFloor)
     EXPECT_EQ(ap.thresholdOf(7), 4u);
     // An adversarial page (relocations never stick) pins at the cap.
     for (int i = 0; i < 8; ++i)
-        ap.onEvicted(9);
+        ap.onEvicted(9, 0);
     EXPECT_EQ(ap.thresholdOf(9), 1024u);
 }
 
@@ -318,6 +326,240 @@ TEST(Policies, DescribeNamesTheConfiguration)
               "hysteresis(T=64,T_reverted=256)");
     EXPECT_EQ(AdaptiveThresholdPolicy(64, 4, 1024).describe(),
               "adaptive(T0=64,min=4,max=1024)");
+    EXPECT_EQ(UtilityThresholdPolicy(64, 4, 1024, 19).describe(),
+              "utility(T0=64,min=4,max=1024,breakeven=19)");
+    EXPECT_EQ(OnlineModelPolicy(19.0, 1, 1024).describe(),
+              "online-model(T*=19,min=1,max=1024)");
+    EXPECT_EQ(EwmaUtilityPolicy(4, 124, 19, 0.5).describe(),
+              "ewma(min=4,max=124,breakeven=19,alpha=8/16)");
+}
+
+TEST(Policies, PreFeedbackPoliciesIgnoreResidentHits)
+{
+    // Bit-identity at the unit level: the PR 4/5 policies must make
+    // identical decisions whatever hit count the eviction reports,
+    // or the paper figures would drift the moment the RAD started
+    // delivering real counts.
+    Rng rng(0xfeedbac1);
+    StaticThresholdPolicy sa(4), sb(4);
+    HysteresisPolicy ha(2, 8), hb(2, 8);
+    AdaptiveThresholdPolicy aa(16, 2, 64), ab(16, 2, 64);
+    for (int step = 0; step < 20000; ++step) {
+        Addr page = rng.below(8);
+        std::uint64_t action = rng.below(100);
+        std::uint64_t hits = rng.below(1000);
+        if (action < 80) {
+            ASSERT_EQ(sa.onRefetch(page), sb.onRefetch(page));
+            ASSERT_EQ(ha.onRefetch(page), hb.onRefetch(page));
+            ASSERT_EQ(aa.onRefetch(page), ab.onRefetch(page));
+        } else if (action < 88) {
+            sa.onRelocated(page); sb.onRelocated(page);
+            ha.onRelocated(page); hb.onRelocated(page);
+            aa.onRelocated(page); ab.onRelocated(page);
+        } else if (action < 96) {
+            sa.onEvicted(page, 0); sb.onEvicted(page, hits);
+            ha.onEvicted(page, 0); hb.onEvicted(page, hits);
+            aa.onEvicted(page, 0); ab.onEvicted(page, hits);
+        } else {
+            sa.reset(page); sb.reset(page);
+            ha.reset(page); hb.reset(page);
+            aa.reset(page); ab.reset(page);
+        }
+    }
+}
+
+TEST(Utility, ZeroHitEvictionEscalatesUpToTheCap)
+{
+    UtilityThresholdPolicy up(16, 2, 64, 19);
+    up.onRelocated(1);
+    EXPECT_EQ(up.thresholdOf(1), 16u); // relocation is not evidence
+    up.onEvicted(1, 0);
+    EXPECT_EQ(up.thresholdOf(1), 32u);
+    up.onEvicted(1, 0);
+    EXPECT_EQ(up.thresholdOf(1), 64u);
+    up.onEvicted(1, 0);
+    EXPECT_EQ(up.thresholdOf(1), 64u); // clamped at the cap
+}
+
+TEST(Utility, ProfitableEvictionDecaysBelowBreakEven)
+{
+    UtilityThresholdPolicy up(64, 4, 1024, 19);
+    // A residency that amortized its page ops drops the page below
+    // the break-even bar immediately (min(64, 19) / 2 = 9)...
+    up.onEvicted(1, 19);
+    EXPECT_EQ(up.thresholdOf(1), 9u);
+    // ...and keeps halving on repeated profit, down to the floor.
+    up.onEvicted(1, 5000);
+    EXPECT_EQ(up.thresholdOf(1), 4u);
+    up.onEvicted(1, 5000);
+    EXPECT_EQ(up.thresholdOf(1), 4u);
+}
+
+TEST(Utility, BreakEvenBoundaryIsExact)
+{
+    // hits == breakEven - 1 is a wasted residency; hits == breakEven
+    // is a profitable one. The boundary must not be off by one.
+    UtilityThresholdPolicy waste(64, 4, 1024, 19);
+    waste.onEvicted(1, 18);
+    EXPECT_EQ(waste.thresholdOf(1), 128u);
+    UtilityThresholdPolicy profit(64, 4, 1024, 19);
+    profit.onEvicted(1, 19);
+    EXPECT_EQ(profit.thresholdOf(1), 9u);
+}
+
+TEST(Utility, ResetForgetsTheLearnedThreshold)
+{
+    UtilityThresholdPolicy up(64, 4, 1024, 19);
+    up.onEvicted(1, 0);
+    EXPECT_EQ(up.thresholdOf(1), 128u);
+    up.reset(1);
+    EXPECT_EQ(up.thresholdOf(1), 64u);
+    EXPECT_EQ(up.trackedPages(), 0u);
+}
+
+TEST(Utility, FiresAtThePerPageThreshold)
+{
+    UtilityThresholdPolicy up(8, 2, 64, 19);
+    up.onEvicted(1, 100); // profitable: threshold min(8,19)/2 = 4
+    EXPECT_EQ(up.thresholdOf(1), 4u);
+    EXPECT_FALSE(up.onRefetch(1));
+    EXPECT_FALSE(up.onRefetch(1));
+    EXPECT_FALSE(up.onRefetch(1));
+    EXPECT_TRUE(up.onRefetch(1));
+    // An untouched page still uses the initial threshold.
+    for (int i = 0; i < 7; ++i)
+        EXPECT_FALSE(up.onRefetch(2));
+    EXPECT_TRUE(up.onRefetch(2));
+}
+
+TEST(OnlineModel, StartsAtTheAnalyticOptimum)
+{
+    OnlineModelPolicy op(19.4, 1, 1024);
+    EXPECT_EQ(op.threshold(), 19u);
+    EXPECT_DOUBLE_EQ(op.estimatedHits(), 0.0);
+    // With no eviction history the policy is rnuma-model: fires on
+    // the round(T*)-th refetch.
+    for (int i = 0; i < 18; ++i)
+        EXPECT_FALSE(op.onRefetch(1));
+    EXPECT_TRUE(op.onRefetch(1));
+}
+
+TEST(OnlineModel, ConvergesToOptimalThresholdOnStationaryStream)
+{
+    // The satellite's convergence target: on a synthetic stationary
+    // zero-reuse eviction stream, the online estimate must converge
+    // to AnalyticModel::optimalThreshold() on the configured
+    // machine — the static rnuma-model pick.
+    Params p = Params::base();
+    AnalyticModel model(
+        ModelParams::fromSystem(p, p.blocksPerPage() / 2));
+    double tStar = model.optimalThreshold();
+    OnlineModelPolicy op(tStar, 1, 16 * p.relocationThreshold);
+    std::size_t expect =
+        static_cast<std::size_t>(std::llround(tStar));
+
+    // Perturb: a burst of very profitable residencies drives the
+    // threshold to the floor...
+    for (int i = 0; i < 50; ++i)
+        op.onEvicted(1, 10000);
+    EXPECT_EQ(op.threshold(), 1u);
+    // ...then the stationary worst-case stream (every residency
+    // wasted) decays the EWMA geometrically back to the analytic
+    // optimum.
+    for (int i = 0; i < 400; ++i)
+        op.onEvicted(1, 0);
+    EXPECT_EQ(op.threshold(), expect);
+    EXPECT_LT(op.estimatedHits(), 0.5);
+}
+
+TEST(OnlineModel, ObservedReuseLowersTheGlobalThreshold)
+{
+    OnlineModelPolicy op(19.0, 1, 1024);
+    op.onEvicted(1, 40); // EWMA moves 1/8 of the way: h = 5
+    EXPECT_DOUBLE_EQ(op.estimatedHits(), 5.0);
+    EXPECT_EQ(op.threshold(), 14u); // round(19 - 5)
+    // The threshold is global: page 2 fires at the lowered bar.
+    for (int i = 0; i < 13; ++i)
+        EXPECT_FALSE(op.onRefetch(2));
+    EXPECT_TRUE(op.onRefetch(2));
+}
+
+TEST(Ewma, NoEvidenceLandsAtTheMidpointThreshold)
+{
+    // u starts at 0.5, so min=4 / max=124 interpolates to 64 — the
+    // registry picks the range so this is exactly the base T.
+    EwmaUtilityPolicy ep(4, 124, 19, 0.5);
+    EXPECT_DOUBLE_EQ(ep.utilityOf(1), 0.5);
+    EXPECT_EQ(ep.thresholdOf(1), 64u);
+}
+
+TEST(Ewma, UtilityMovesTheThresholdBetweenTheRails)
+{
+    EwmaUtilityPolicy ep(4, 124, 19, 0.5);
+    // Wasted residencies drive u toward 0 and the threshold toward
+    // the distrust rail.
+    for (int i = 0; i < 8; ++i)
+        ep.onEvicted(1, 0);
+    EXPECT_LT(ep.utilityOf(1), 0.01);
+    EXPECT_EQ(ep.thresholdOf(1), 124u);
+    // Profitable residencies drive u toward 1 and the threshold
+    // toward the trust rail; half-marks land in between.
+    for (int i = 0; i < 8; ++i)
+        ep.onEvicted(2, 19);
+    EXPECT_GT(ep.utilityOf(2), 0.99);
+    EXPECT_EQ(ep.thresholdOf(2), 4u);
+    ep.onEvicted(3, 9); // grade 9/19: below break-even, partial credit
+    EXPECT_NEAR(ep.utilityOf(3), 0.487, 0.001);
+    std::size_t mid = ep.thresholdOf(3);
+    EXPECT_GT(mid, 4u);
+    EXPECT_LT(mid, 124u);
+}
+
+TEST(Ewma, ResetRestoresTheNeutralScore)
+{
+    EwmaUtilityPolicy ep(4, 124, 19, 0.5);
+    ep.onEvicted(1, 0);
+    EXPECT_EQ(ep.thresholdOf(1), 94u); // u = 0.25
+    ep.reset(1);
+    EXPECT_EQ(ep.thresholdOf(1), 64u);
+    EXPECT_EQ(ep.trackedPages(), 0u);
+}
+
+TEST(Policies, WouldFireMatchesOnRefetchForEveryRegisteredPolicy)
+{
+    // The parallel engine's confinement probe (RNumaRad::
+    // accessConfined) consults wouldFire before the real onRefetch
+    // runs; the contract is one-sided — wouldFire may overpredict
+    // (forcing a deferral), but must never underpredict, or a firing
+    // relocation could evict a page whose blocks flush outside the
+    // partition. Assert fired => predicted for every registered
+    // policy under randomized refetch/relocate/evict/reset streams,
+    // with randomized hit counts driving the feedback policies'
+    // threshold updates.
+    Params p = Params::base();
+    for (const ProtocolSpec *spec : ProtocolRegistry::global().all()) {
+        if (!spec->makePolicy)
+            continue;
+        auto policy = spec->makePolicy(p);
+        Rng rng(0xc0face + spec->id.size());
+        for (int step = 0; step < 30000; ++step) {
+            Addr page = rng.below(12);
+            std::uint64_t action = rng.below(100);
+            if (action < 85) {
+                bool predicted = policy->wouldFire(page);
+                bool fired = policy->onRefetch(page);
+                ASSERT_TRUE(!fired || predicted)
+                    << spec->id << " underpredicted at step "
+                    << step;
+            } else if (action < 90) {
+                policy->onRelocated(page);
+            } else if (action < 96) {
+                policy->onEvicted(page, rng.below(100));
+            } else {
+                policy->reset(page);
+            }
+        }
+    }
 }
 
 } // namespace rnuma

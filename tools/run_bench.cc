@@ -15,6 +15,9 @@
  * medians from being polluted by one-time generation cost.
  *
  * Usage: rnuma_bench [options] [<figure>... | all]
+ *   --list-protocols     print the protocol registry (id, name,
+ *                        policy describe() string, description) and
+ *                        exit
  *   --list-workloads     print the workload registry (id, name,
  *                        category, input, description) and exit
  *   --workload NAME      (repeatable) select registered workloads
@@ -53,10 +56,12 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "core/relocation_policy.hh"
 #include "driver/compare.hh"
 #include "driver/figures.hh"
 #include "driver/json.hh"
 #include "driver/sweep_runner.hh"
+#include "proto/registry.hh"
 #include "workload/registry.hh"
 
 namespace
@@ -69,6 +74,8 @@ int
 usage(std::ostream &os, int status)
 {
     os << "usage: rnuma_bench [options] [<figure>... | all]\n"
+          "  --list-protocols     list the protocol registry (with "
+          "policy parameters)\n"
           "  --list-workloads     list the workload registry\n"
           "  --workload NAME      (repeatable) select workloads for "
           "workload-parametric\n"
@@ -144,7 +151,26 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h")
             return usage(std::cout, 0);
-        else if (arg == "--list-workloads") {
+        else if (arg == "--list-protocols") {
+            // Mirror rnuma_sweep --list-protocols: the describe()
+            // column is what makes static(T=64) vs
+            // hysteresis(T=64,T_reverted=256) visible from the CLI.
+            Params p = Params::base();
+            Table t({"id", "name", "relocation policy",
+                     "description"});
+            for (const ProtocolSpec *s :
+                 ProtocolRegistry::global().all()) {
+                t.addRow({s->id, s->displayName,
+                          s->makePolicy
+                              ? s->makePolicy(p)->describe()
+                              : "-",
+                          s->description});
+            }
+            t.print(std::cout);
+            std::cout << "\n(policies are shown for the paper's "
+                         "base Params)\n";
+            return 0;
+        } else if (arg == "--list-workloads") {
             Table t({"id", "name", "category", "input",
                      "description"});
             for (const WorkloadSpec *s :

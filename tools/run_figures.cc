@@ -33,7 +33,7 @@
  *                        tick-identical across N — gate with
  *                        --compare-events. Cells whose node count N
  *                        does not divide stay serial.
- *   --json-out FILE      write results as rnuma-sweep-results/v7 JSON
+ *   --json-out FILE      write results as rnuma-sweep-results/v8 JSON
  *   --csv-out FILE       write results as flat CSV
  *   --verify             re-run each sweep serially and assert
  *                        bit-identical RunStats
@@ -109,7 +109,7 @@ usage(std::ostream &os, int status)
           "N logical processes\n"
           "                       (deterministic per N; gate with "
           "--compare-events)\n"
-          "  --json-out FILE      write rnuma-sweep-results/v7 JSON\n"
+          "  --json-out FILE      write rnuma-sweep-results/v8 JSON\n"
           "  --csv-out FILE       write flat CSV\n"
           "  --verify             assert serial/parallel RunStats "
           "are bit-identical\n"
